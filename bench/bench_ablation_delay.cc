@@ -1,0 +1,67 @@
+// §IV-F ablation — "introducing delay can speed up a job".
+//
+// The paper's most counter-intuitive result: Ignem+10s *beats plain Ignem*
+// at 4 GB because Ignem reads the disk one block at a time (near-sequential
+// speed) while the wordcount job's concurrent mappers collapse disk
+// throughput; work done during the sleep is worth more than the sleep.
+//
+// The phenomenon requires task-level read concurrency to degrade the disk
+// below the migration path's single-stream rate. Under the repo's default
+// calibration (fitted to Tables I/II and Fig. 1), mapper concurrency does
+// not push the disk that far down, so bench_fig8_wordcount shows only the
+// crossover against HDFS. This bench re-runs the sweep on a
+// high-degradation disk (seek-bound under concurrency, as §IV-F's testbed
+// behaves) and reproduces the full effect mechanistically.
+#include "bench/experiment_common.h"
+
+#include "workload/standalone.h"
+
+namespace ignem::bench {
+namespace {
+
+TestbedConfig seek_bound_testbed(RunMode mode) {
+  TestbedConfig config = paper_testbed(mode);
+  // 6 mapper slots (one per core) and a disk whose aggregate bandwidth
+  // halves with every extra stream: the §IV-F regime.
+  config.cluster.slots_per_node = 6;
+  DeviceProfile disk = hdd_profile();
+  disk.bandwidth.degradation = 0.5;
+  config.primary_profile = disk;
+  config.ignem.migration_rate_cap = mib_per_sec(30);
+  return config;
+}
+
+double run_wordcount(RunMode mode, double input_gib, Duration extra_lead) {
+  Testbed testbed(seek_bound_testbed(mode));
+  JobSpec spec = make_wordcount_job(testbed, "/wc/input", gib(input_gib));
+  spec.extra_lead_time = extra_lead;
+  testbed.run_workload({{Duration::zero(), spec}});
+  return testbed.metrics().jobs()[0].duration.to_seconds();
+}
+
+void main_impl() {
+  print_header("Ablation (SIV-F): added delay can speed up a job");
+
+  TextTable table({"Input", "HDFS (s)", "Ignem (s)", "Ignem+10s (s)",
+                   "+10s vs Ignem"});
+  for (const double size : {2.0, 4.0, 8.0, 12.0}) {
+    const double hdfs = run_wordcount(RunMode::kHdfs, size, Duration::zero());
+    const double ignem = run_wordcount(RunMode::kIgnem, size, Duration::zero());
+    const double ignem10 =
+        run_wordcount(RunMode::kIgnem, size, Duration::seconds(10));
+    table.add_row({TextTable::fixed(size, 0) + " GB",
+                   TextTable::fixed(hdfs, 1), TextTable::fixed(ignem, 1),
+                   TextTable::fixed(ignem10, 1),
+                   TextTable::percent(speedup(ignem, ignem10))});
+  }
+  std::cout << table.render() << "\n";
+  std::cout << "Positive '+10s vs Ignem' at large inputs reproduces the "
+               "paper's finding: the sleep buys one-at-a-time migration "
+               "time,\nwhich reads the disk more efficiently than the job's "
+               "concurrent mappers would, and more than repays the delay.\n";
+}
+
+}  // namespace
+}  // namespace ignem::bench
+
+int main() { ignem::bench::main_impl(); }

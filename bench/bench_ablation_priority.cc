@@ -1,0 +1,52 @@
+// §IV-C5 ablation — smallest-job-first prioritization vs FIFO draining of
+// the slave migration queues.
+//
+// Paper: disabling prioritization costs ~2 percentage points of speedup,
+// i.e. ~15% of Ignem's benefit on the SWIM workload.
+#include "bench/experiment_common.h"
+
+namespace ignem::bench {
+namespace {
+
+double run_with_policy(MigrationPolicy policy) {
+  TestbedConfig config = paper_testbed(RunMode::kIgnem);
+  config.ignem.policy = policy;
+  Testbed testbed(config);
+  testbed.run_workload(build_swim_workload(testbed, paper_swim()));
+  return testbed.metrics().mean_job_duration_seconds();
+}
+
+void main_impl() {
+  print_header("Ablation (SIV-C5): migration-queue policy");
+
+  const double hdfs =
+      run_swim(RunMode::kHdfs)->metrics().mean_job_duration_seconds();
+  const double sjf = run_with_policy(MigrationPolicy::kSmallestJobFirst);
+  const double fifo = run_with_policy(MigrationPolicy::kFifo);
+
+  TextTable table({"Policy", "Mean job duration (s)", "Speedup w.r.t. HDFS"});
+  table.add_row({"HDFS (no migration)", TextTable::fixed(hdfs, 2), "-"});
+  for (const MigrationPolicy policy :
+       {MigrationPolicy::kSmallestJobFirst, MigrationPolicy::kFifo,
+        MigrationPolicy::kLifo, MigrationPolicy::kLargestJobFirst}) {
+    const double mean = policy == MigrationPolicy::kSmallestJobFirst ? sjf
+                        : policy == MigrationPolicy::kFifo
+                            ? fifo
+                            : run_with_policy(policy);
+    table.add_row({std::string("Ignem, ") + migration_policy_name(policy),
+                   TextTable::fixed(mean, 2),
+                   TextTable::percent(speedup(hdfs, mean))});
+  }
+  std::cout << table.render() << "\n";
+
+  const double lost = speedup(hdfs, sjf) - speedup(hdfs, fifo);
+  std::cout << "Disabling prioritization costs "
+            << TextTable::percent(lost) << " of speedup ("
+            << TextTable::percent(lost / speedup(hdfs, sjf))
+            << " of Ignem's benefit; paper: ~2pp, ~15%)\n";
+}
+
+}  // namespace
+}  // namespace ignem::bench
+
+int main() { ignem::bench::main_impl(); }

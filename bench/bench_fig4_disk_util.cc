@@ -1,0 +1,57 @@
+// Fig. 4 — per-server disk-bandwidth utilization over 24 h in the Google
+// trace: individual timelines for 10 servers and the mean over 40 servers.
+//
+// Paper finding: the 40-server mean stays at or below ~5% at every point,
+// the all-server daily mean is ~3.1% — abundant residual bandwidth exists
+// for migration.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "common/stats.h"
+#include "metrics/table.h"
+#include "trace/disk_util.h"
+#include "workload/google_trace.h"
+
+namespace ignem::bench {
+namespace {
+
+void main_impl() {
+  std::cout << "\n=== Fig. 4: disk utilization over 24h (Google trace) ===\n\n";
+
+  GoogleTraceConfig config;
+  config.server_count = 200;
+  config.horizon = Duration::hours(24);
+  const GoogleTrace trace = generate_google_trace(config);
+
+  // Individual timelines for 10 servers: report each server's peak and mean.
+  TextTable table({"Server", "Mean util", "p95 window", "Max window"});
+  for (std::int32_t server = 0; server < 10; ++server) {
+    const auto timeline = server_utilization_timeline(trace, server);
+    Samples s;
+    for (const double v : timeline) s.add(v);
+    table.add_row({std::to_string(server), TextTable::percent(s.mean()),
+                   TextTable::percent(s.percentile(95)),
+                   TextTable::percent(s.max())});
+  }
+  std::cout << table.render() << "\n";
+
+  // Mean over 40 servers (the paper's smoother series).
+  std::vector<std::int32_t> servers(40);
+  for (std::int32_t i = 0; i < 40; ++i) servers[static_cast<size_t>(i)] = i;
+  const auto mean_timeline = mean_utilization_timeline(trace, servers);
+  Samples mean_s;
+  for (const double v : mean_timeline) mean_s.add(v);
+  std::cout << "40-server mean utilization: max over 24h = "
+            << TextTable::percent(mean_s.max())
+            << "   (paper: at most ~5%)\n";
+
+  std::cout << "All-server mean utilization over 24h: "
+            << TextTable::percent(mean_cluster_utilization(trace))
+            << "   (paper: 3.1%)\n";
+}
+
+}  // namespace
+}  // namespace ignem::bench
+
+int main() { ignem::bench::main_impl(); }

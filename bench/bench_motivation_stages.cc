@@ -1,0 +1,46 @@
+// §II-A motivation — the input stage dominates: map tasks account for ~97%
+// of total task runtime in TPC-DS-style queries, and map stages filter
+// 10:1+ between input and map output.
+#include "bench/experiment_common.h"
+
+#include "workload/hive.h"
+
+namespace ignem::bench {
+namespace {
+
+void main_impl() {
+  print_header("Motivation (SII-A): the input stage dominates");
+
+  Testbed testbed(paper_testbed(RunMode::kHdfs));
+  HiveDriver driver(testbed);
+  driver.run_all(tpcds_query_suite());
+
+  double map_seconds = 0, reduce_seconds = 0;
+  for (const auto& task : testbed.metrics().tasks()) {
+    if (task.kind == TaskKind::kMap) {
+      map_seconds += task.duration.to_seconds();
+    } else {
+      reduce_seconds += task.duration.to_seconds();
+    }
+  }
+  std::cout << "Map tasks account for "
+            << TextTable::percent(map_seconds /
+                                  (map_seconds + reduce_seconds))
+            << " of total task runtime (paper: ~97%)\n\n";
+
+  TextTable table({"Query", "Input", "Map-output ratio", "Reduction factor"});
+  for (const auto& query : tpcds_query_suite()) {
+    table.add_row({"q" + std::to_string(query.id),
+                   format_bytes(query.fact_input + query.dim_input),
+                   TextTable::percent(query.selectivity),
+                   TextTable::fixed(1.0 / query.selectivity, 0) + ":1"});
+  }
+  std::cout << table.render();
+  std::cout << "\n(Paper cites 10:1 input:map-output at Google and 2-20000x "
+               "for Rhea.)\n";
+}
+
+}  // namespace
+}  // namespace ignem::bench
+
+int main() { ignem::bench::main_impl(); }

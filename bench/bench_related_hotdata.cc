@@ -1,0 +1,72 @@
+// Related-work comparison (§I, §V) — hot-data promotion vs Ignem.
+//
+// Triple-H-style schemes promote blocks to RAM once access frequency makes
+// them "hot"; PACMan keeps already-hot data cached. The paper's motivating
+// claim is that neither helps the large class of jobs reading cold,
+// singly-accessed data (30%+ of tasks in production). This bench runs both
+// schemes on (a) the SWIM workload, whose inputs are singly read, and (b)
+// an iterative workload (five passes over one dataset, the Spark/ML regime
+// where hot-data schemes shine).
+#include "bench/experiment_common.h"
+
+#include "workload/standalone.h"
+
+namespace ignem::bench {
+namespace {
+
+double iterative_mean_job(RunMode mode) {
+  Testbed testbed(paper_testbed(mode));
+  JobSpec pass = make_grep_job(testbed, "/iter", 2 * kGiB);
+  std::vector<ScheduledJob> jobs;
+  for (int i = 0; i < 5; ++i) {
+    ScheduledJob job;
+    job.arrival = Duration::seconds(i * 60.0);
+    job.spec = pass;
+    job.spec.name = "pass-" + std::to_string(i);
+    jobs.push_back(job);
+  }
+  testbed.run_workload(std::move(jobs));
+  return testbed.metrics().mean_job_duration_seconds();
+}
+
+void main_impl() {
+  print_header("Related work (SV): hot-data promotion vs Ignem");
+
+  std::cout << "(a) SWIM — cold, singly-read inputs\n\n";
+  TextTable swim_table({"Scheme", "Mean job (s)", "Speedup", "Memory reads"});
+  double hdfs_mean = 0;
+  for (const RunMode mode :
+       {RunMode::kHdfs, RunMode::kHotDataPromotion, RunMode::kIgnem}) {
+    auto testbed = run_swim(mode);
+    const double mean = testbed->metrics().mean_job_duration_seconds();
+    if (mode == RunMode::kHdfs) hdfs_mean = mean;
+    swim_table.add_row(
+        {run_mode_name(mode), TextTable::fixed(mean, 2),
+         mode == RunMode::kHdfs ? "-"
+                                : TextTable::percent(speedup(hdfs_mean, mean)),
+         TextTable::percent(testbed->metrics().memory_read_fraction())});
+  }
+  std::cout << swim_table.render() << "\n";
+
+  std::cout << "(b) Iterative — five passes over one 2 GB dataset\n\n";
+  TextTable iter_table({"Scheme", "Mean pass (s)", "Speedup"});
+  const double iter_hdfs = iterative_mean_job(RunMode::kHdfs);
+  iter_table.add_row({"HDFS", TextTable::fixed(iter_hdfs, 2), "-"});
+  for (const RunMode mode :
+       {RunMode::kHotDataPromotion, RunMode::kIgnem}) {
+    const double mean = iterative_mean_job(mode);
+    iter_table.add_row({run_mode_name(mode), TextTable::fixed(mean, 2),
+                        TextTable::percent(speedup(iter_hdfs, mean))});
+  }
+  std::cout << iter_table.render() << "\n";
+
+  std::cout << "Hot-data promotion buys nothing on singly-read inputs (the "
+               "paper's motivating claim)\nbut works on the iterative "
+               "workload; Ignem helps both, because it migrates on *intent* "
+               "(the\nsubmitter's file list) rather than on access history.\n";
+}
+
+}  // namespace
+}  // namespace ignem::bench
+
+int main() { ignem::bench::main_impl(); }

@@ -1,0 +1,38 @@
+// Table I — mean job duration for the SWIM workload under HDFS, Ignem, and
+// HDFS-Inputs-in-RAM.
+//
+// Paper: HDFS 14.4 s; Ignem 12.7 s (12% speedup); RAM 11.4 s (21%). Ignem
+// realizes ~60% of the upper-bound benefit.
+#include "bench/experiment_common.h"
+
+namespace ignem::bench {
+namespace {
+
+void main_impl() {
+  print_header("Table I: SWIM mean job duration");
+
+  const double hdfs = run_swim(RunMode::kHdfs)->metrics()
+                          .mean_job_duration_seconds();
+  const double ignem = run_swim(RunMode::kIgnem)->metrics()
+                           .mean_job_duration_seconds();
+  const double ram = run_swim(RunMode::kHdfsInputsInRam)->metrics()
+                         .mean_job_duration_seconds();
+
+  TextTable table({"Configuration", "Mean job duration (s)",
+                   "Speedup w.r.t. HDFS", "Paper"});
+  table.add_row({"HDFS", TextTable::fixed(hdfs, 2), "-", "14.4 s"});
+  table.add_row({"Ignem", TextTable::fixed(ignem, 2),
+                 TextTable::percent(speedup(hdfs, ignem)), "12.7 s (12%)"});
+  table.add_row({"HDFS-Inputs-in-RAM", TextTable::fixed(ram, 2),
+                 TextTable::percent(speedup(hdfs, ram)), "11.4 s (21%)"});
+  std::cout << table.render() << "\n";
+
+  std::cout << "Ignem realizes "
+            << TextTable::percent(speedup(hdfs, ignem) / speedup(hdfs, ram))
+            << " of the upper-bound benefit (paper: ~60%)\n";
+}
+
+}  // namespace
+}  // namespace ignem::bench
+
+int main() { ignem::bench::main_impl(); }

@@ -1,0 +1,51 @@
+// Trace replay: run the SWIM (Facebook-derived) workload under all four
+// file-system configurations and compare, reproducing the paper's core
+// comparison end to end on a smaller scale.
+//
+//   $ ./trace_replay [job_count]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/testbed.h"
+#include "metrics/table.h"
+#include "workload/swim.h"
+
+using namespace ignem;
+
+int main(int argc, char** argv) {
+  SwimConfig swim;
+  swim.job_count = argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 60;
+  swim.total_input = 24 * kGiB;
+  swim.tail_max = 6 * kGiB;
+  swim.seed = 3;
+
+  TextTable table({"Configuration", "Mean job (s)", "Mean mapper (s)",
+                   "Memory reads", "Speedup"});
+  double baseline = 0;
+  for (const RunMode mode :
+       {RunMode::kHdfs, RunMode::kIgnem, RunMode::kInstantMigration,
+        RunMode::kHdfsInputsInRam}) {
+    TestbedConfig config;
+    config.mode = mode;
+    config.cluster.node_count = 8;
+    config.cluster.slots_per_node = 6;
+    config.cache_capacity_per_node = 64 * kGiB;
+    config.seed = 3;
+    Testbed testbed(config);
+    testbed.run_workload(build_swim_workload(testbed, swim));
+
+    const double mean_job = testbed.metrics().mean_job_duration_seconds();
+    if (mode == RunMode::kHdfs) baseline = mean_job;
+    table.add_row(
+        {run_mode_name(mode), TextTable::fixed(mean_job, 2),
+         TextTable::fixed(testbed.metrics().mean_map_task_seconds(), 2),
+         TextTable::percent(testbed.metrics().memory_read_fraction()),
+         mode == RunMode::kHdfs
+             ? "-"
+             : TextTable::percent((baseline - mean_job) / baseline)});
+  }
+  std::cout << "SWIM replay: " << swim.job_count << " jobs, "
+            << format_bytes(swim.total_input) << " total input\n\n"
+            << table.render();
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Job-liveness oracle (paper §III-A4).
+//
+// When an Ignem slave hits its memory threshold it asks the cluster
+// scheduler whether the jobs holding reference-list entries are still
+// running; entries of dead jobs are reaped. The interface lives here so the
+// Ignem core depends only on this contract, not on the scheduler internals.
+#pragma once
+
+#include "common/ids.h"
+
+namespace ignem {
+
+class JobLivenessOracle {
+ public:
+  virtual ~JobLivenessOracle() = default;
+
+  /// True if the job has been submitted and has not completed/failed.
+  virtual bool is_job_running(JobId job) const = 0;
+};
+
+}  // namespace ignem

@@ -1,0 +1,115 @@
+#include "cluster/resource_manager.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ignem {
+
+ResourceManager::ResourceManager(Simulator& sim, ClusterConfig config)
+    : sim_(sim), config_(config) {
+  IGNEM_CHECK(config_.node_count > 0);
+  nodes_.reserve(config_.node_count);
+  heartbeats_.reserve(config_.node_count);
+  for (std::size_t i = 0; i < config_.node_count; ++i) {
+    const NodeId id(static_cast<std::int64_t>(i));
+    nodes_.push_back(std::make_unique<NodeManager>(id, config_.slots_per_node));
+    // Stagger heartbeats uniformly across the interval, as real clusters
+    // naturally do: node i's first beat lands at (i+1)/n of one interval.
+    const Duration offset =
+        config_.heartbeat_interval *
+        (static_cast<double>(i + 1) / static_cast<double>(config_.node_count));
+    heartbeats_.push_back(std::make_unique<PeriodicTask>(
+        sim_, offset, config_.heartbeat_interval,
+        [this, id] { on_heartbeat(id); }));
+  }
+}
+
+void ResourceManager::register_job(JobId job) {
+  IGNEM_CHECK(job.valid());
+  running_jobs_.insert(job);
+}
+
+void ResourceManager::complete_job(JobId job) { running_jobs_.erase(job); }
+
+bool ResourceManager::is_job_running(JobId job) const {
+  return running_jobs_.contains(job);
+}
+
+void ResourceManager::request_container(ContainerRequest request) {
+  IGNEM_CHECK(request.on_allocated != nullptr);
+  queue_.push_back(QueuedRequest{std::move(request), sim_.now()});
+}
+
+void ResourceManager::release_container(NodeId node) {
+  node_manager(node).release();
+}
+
+void ResourceManager::set_node_alive(NodeId node, bool alive) {
+  node_manager(node).set_alive(alive);
+}
+
+NodeManager& ResourceManager::node_manager(NodeId node) {
+  IGNEM_CHECK(node.valid() &&
+              static_cast<std::size_t>(node.value()) < nodes_.size());
+  return *nodes_[static_cast<std::size_t>(node.value())];
+}
+
+bool ResourceManager::prefers(const ContainerRequest& request,
+                              NodeId node) const {
+  if (request.preferred.empty()) return true;
+  return std::find(request.preferred.begin(), request.preferred.end(), node) !=
+         request.preferred.end();
+}
+
+void ResourceManager::on_heartbeat(NodeId node) {
+  ++heartbeat_count_;
+  queue_length_accum_ += queue_.size();
+  NodeManager& manager = node_manager(node);
+  if (!manager.alive()) return;
+
+  // A node only takes its fair share of location-free requests per
+  // heartbeat, so e.g. a reduce wave spreads across the cluster instead of
+  // piling onto whichever node beats first (YARN's round-robin offers).
+  std::size_t unpreferred_budget = std::max<std::size_t>(
+      1, (queue_.size() + config_.node_count - 1) / config_.node_count);
+
+  // Two passes over the FIFO: first requests that prefer this node, then —
+  // delay scheduling — requests that have outwaited the locality delay.
+  for (const bool locality_pass : {true, false}) {
+    auto it = queue_.begin();
+    while (it != queue_.end() && manager.free_slots() > 0) {
+      const bool unpreferred = it->request.preferred.empty();
+      // The fair-share budget binds location-free requests in both passes;
+      // the delay-scheduling relaxation only waives *locality*, it is not a
+      // license for one node to drain the whole queue.
+      const bool budget_ok = !unpreferred || unpreferred_budget > 0;
+      const bool eligible =
+          locality_pass
+              ? prefers(it->request, node) && budget_ok
+              : sim_.now() - it->enqueued >= config_.locality_delay &&
+                    budget_ok;
+      if (!eligible) {
+        ++it;
+        continue;
+      }
+      if (unpreferred) --unpreferred_budget;
+      manager.allocate();
+      auto on_allocated = std::move(it->request.on_allocated);
+      it = queue_.erase(it);
+      // Container launch overhead (binary shipping + JVM warm-up) before the
+      // task code runs.
+      sim_.schedule(config_.container_launch,
+                    [cb = std::move(on_allocated), node] { cb(node); });
+    }
+    if (manager.free_slots() == 0) break;
+  }
+}
+
+double ResourceManager::mean_queue_length() const {
+  if (heartbeat_count_ == 0) return 0.0;
+  return static_cast<double>(queue_length_accum_) /
+         static_cast<double>(heartbeat_count_);
+}
+
+}  // namespace ignem

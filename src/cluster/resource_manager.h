@@ -1,0 +1,93 @@
+// ResourceManager: centralized, heartbeat-driven container scheduling.
+//
+// Models the YARN pattern the paper leans on for lead-time (§II-C1): tasks
+// queue at the scheduler and are only placed when a node's periodic
+// heartbeat arrives (Hadoop default: 3 s), so every task sees queueing
+// delay + up to one heartbeat of scheduling latency. Locality is handled
+// with delay scheduling: a request holds out for a preferred node until it
+// has waited `locality_delay`, then accepts any node.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/job_liveness.h"
+#include "cluster/node_manager.h"
+#include "common/ids.h"
+#include "common/units.h"
+#include "sim/periodic.h"
+#include "sim/simulator.h"
+
+namespace ignem {
+
+struct ClusterConfig {
+  std::size_t node_count = 8;   ///< The paper's testbed size (§IV-A).
+  int slots_per_node = 10;      ///< ~2 waves of tasks per 6-core/12-thread box.
+  Duration heartbeat_interval = Duration::seconds(3.0);  ///< Hadoop default.
+  Duration locality_delay = Duration::seconds(3.0);
+  /// Container launch overhead: binary shipping + JVM warm-up (§II-C1).
+  Duration container_launch = Duration::seconds(1.0);
+};
+
+/// A request for one container, with locality preferences.
+struct ContainerRequest {
+  JobId job;
+  std::vector<NodeId> preferred;  ///< Empty means "anywhere".
+  std::function<void(NodeId)> on_allocated;
+};
+
+class ResourceManager : public JobLivenessOracle {
+ public:
+  ResourceManager(Simulator& sim, ClusterConfig config);
+
+  ResourceManager(const ResourceManager&) = delete;
+  ResourceManager& operator=(const ResourceManager&) = delete;
+
+  /// Tracks a job for liveness queries. Must precede its container requests.
+  void register_job(JobId job);
+  void complete_job(JobId job);
+
+  bool is_job_running(JobId job) const override;
+
+  /// Queues a container request; `on_allocated` fires (with the chosen node)
+  /// from a future heartbeat once a slot is found.
+  void request_container(ContainerRequest request);
+
+  /// Returns a container's slot. Visible to the scheduler at the node's next
+  /// heartbeat, as in Hadoop.
+  void release_container(NodeId node);
+
+  /// Node failure support: a dead node stops heartbeating and loses slots.
+  void set_node_alive(NodeId node, bool alive);
+
+  const ClusterConfig& config() const { return config_; }
+  NodeManager& node_manager(NodeId node);
+  std::size_t pending_requests() const { return queue_.size(); }
+
+  /// Mean number of requests waiting, sampled at heartbeats (diagnostics).
+  double mean_queue_length() const;
+
+ private:
+  void on_heartbeat(NodeId node);
+  bool prefers(const ContainerRequest& request, NodeId node) const;
+
+  Simulator& sim_;
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<NodeManager>> nodes_;
+  std::vector<std::unique_ptr<PeriodicTask>> heartbeats_;
+
+  struct QueuedRequest {
+    ContainerRequest request;
+    SimTime enqueued;
+  };
+  std::deque<QueuedRequest> queue_;
+  std::unordered_set<JobId> running_jobs_;
+
+  std::uint64_t heartbeat_count_ = 0;
+  std::uint64_t queue_length_accum_ = 0;
+};
+
+}  // namespace ignem

@@ -1,0 +1,46 @@
+// Lightweight invariant-checking macros.
+//
+// IGNEM_CHECK fires in all build types: simulation correctness depends on
+// these invariants and the cost of evaluating them is negligible next to
+// event dispatch. A failed check throws ignem::CheckFailure so tests can
+// assert on violations instead of aborting the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ignem {
+
+/// Thrown when an IGNEM_CHECK invariant is violated.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace ignem
+
+#define IGNEM_CHECK(expr)                                                \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::ignem::detail::check_failed(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define IGNEM_CHECK_MSG(expr, msg)                                       \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream os_;                                            \
+      os_ << msg;                                                        \
+      ::ignem::detail::check_failed(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                                    \
+  } while (0)

@@ -1,0 +1,44 @@
+// Minimal leveled logger for the simulator.
+//
+// Logging is off by default (benches and tests should be quiet); examples
+// turn on Info to narrate what the cluster is doing. The logger is a
+// process-wide sink because log output is inherently a process-wide effect;
+// everything else in the library avoids global state.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ignem {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the minimum level that will be emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr if `level` is enabled.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace ignem
+
+#define IGNEM_LOG(level)                                     \
+  if (::ignem::log_level() <= ::ignem::LogLevel::level)      \
+  ::ignem::detail::LogMessage(::ignem::LogLevel::level)

@@ -1,0 +1,48 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ignem {
+
+std::string Duration::to_string() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << to_seconds() << "s";
+  return os.str();
+}
+
+std::string SimTime::to_string() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << to_seconds() << "s";
+  return os.str();
+}
+
+Duration transfer_time(Bytes bytes, Bandwidth bw) {
+  IGNEM_CHECK(bytes >= 0);
+  IGNEM_CHECK(bw > 0);
+  if (bytes == 0) return Duration::zero();
+  const double seconds = static_cast<double>(bytes) / bw;
+  const auto micros = static_cast<std::int64_t>(std::ceil(seconds * 1e6));
+  return Duration::micros(micros < 1 ? 1 : micros);
+}
+
+std::string format_bytes(Bytes b) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  const double v = static_cast<double>(b);
+  if (b >= kGiB) {
+    os << v / static_cast<double>(kGiB) << " GiB";
+  } else if (b >= kMiB) {
+    os << v / static_cast<double>(kMiB) << " MiB";
+  } else if (b >= kKiB) {
+    os << v / static_cast<double>(kKiB) << " KiB";
+  } else {
+    os << b << " B";
+  }
+  return os.str();
+}
+
+}  // namespace ignem

@@ -1,0 +1,99 @@
+// Core value types for the simulation: time, bytes, and bandwidth.
+//
+// Simulated time is an integer count of microseconds so that event ordering
+// is exact and runs are reproducible bit-for-bit. Bytes are int64 counts.
+// Bandwidth is bytes per second as double (rates are divided, so a float
+// type is the honest representation); transfer *completions* are always
+// re-quantized to SimTime.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace ignem {
+
+/// A span of simulated time, in microseconds. Value-semantic, totally ordered.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t micros) : micros_(micros) {}
+
+  static constexpr Duration zero() { return Duration(0); }
+  static constexpr Duration micros(std::int64_t v) { return Duration(v); }
+  static constexpr Duration millis(std::int64_t v) { return Duration(v * 1000); }
+  static constexpr Duration seconds(double v) {
+    return Duration(static_cast<std::int64_t>(v * 1e6));
+  }
+  static constexpr Duration minutes(double v) { return seconds(v * 60.0); }
+  static constexpr Duration hours(double v) { return seconds(v * 3600.0); }
+
+  constexpr std::int64_t count_micros() const { return micros_; }
+  constexpr double to_seconds() const { return static_cast<double>(micros_) / 1e6; }
+  constexpr double to_millis() const { return static_cast<double>(micros_) / 1e3; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration(micros_ + o.micros_); }
+  constexpr Duration operator-(Duration o) const { return Duration(micros_ - o.micros_); }
+  constexpr Duration& operator+=(Duration o) { micros_ += o.micros_; return *this; }
+  constexpr Duration& operator-=(Duration o) { micros_ -= o.micros_; return *this; }
+  constexpr Duration operator*(double f) const {
+    return Duration(static_cast<std::int64_t>(static_cast<double>(micros_) * f));
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+/// An absolute point on the simulated clock, in microseconds since sim start.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t micros) : micros_(micros) {}
+
+  static constexpr SimTime zero() { return SimTime(0); }
+  static constexpr SimTime max() { return SimTime(INT64_MAX); }
+
+  constexpr std::int64_t count_micros() const { return micros_; }
+  constexpr double to_seconds() const { return static_cast<double>(micros_) / 1e6; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(Duration d) const { return SimTime(micros_ + d.count_micros()); }
+  constexpr SimTime operator-(Duration d) const { return SimTime(micros_ - d.count_micros()); }
+  constexpr Duration operator-(SimTime o) const { return Duration(micros_ - o.micros_); }
+
+  std::string to_string() const;
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+/// Data sizes. Signed so that subtraction is safe; invariants are checked at
+/// the use sites that require non-negative values.
+using Bytes = std::int64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+constexpr Bytes mib(double v) { return static_cast<Bytes>(v * static_cast<double>(kMiB)); }
+constexpr Bytes gib(double v) { return static_cast<Bytes>(v * static_cast<double>(kGiB)); }
+
+/// Bandwidth in bytes per second.
+using Bandwidth = double;
+
+constexpr Bandwidth mib_per_sec(double v) { return v * static_cast<double>(kMiB); }
+constexpr Bandwidth gib_per_sec(double v) { return v * static_cast<double>(kGiB); }
+
+/// Time needed to move `bytes` at rate `bw`, rounded up to a whole microsecond
+/// so zero-length waits cannot occur for non-empty transfers.
+Duration transfer_time(Bytes bytes, Bandwidth bw);
+
+/// Human-readable byte count ("1.5 GiB").
+std::string format_bytes(Bytes b);
+
+}  // namespace ignem

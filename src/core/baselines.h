@@ -1,0 +1,42 @@
+// Comparison configurations from the paper's evaluation (§IV-A).
+//
+//  - preload_all_inputs: the "HDFS-Inputs-in-RAM" upper bound — vmtouch
+//    locks every DataNode file (all replicas) in memory before the run.
+//  - InstantMigrationService: the Fig. 7 hypothetical scheme that migrates a
+//    job's whole input at submission, instantaneously, and evicts it the
+//    moment the job completes. Unimplementable in practice; used as the
+//    memory-footprint and speedup upper bound.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "dfs/migration_service.h"
+#include "dfs/namenode.h"
+
+namespace ignem {
+
+/// Locks every block of `files` into the cache of every replica node.
+/// Requires per-node cache capacity to fit the resident set (the paper's
+/// nodes have 128 GB of RAM for this configuration).
+void preload_all_inputs(NameNode& namenode, const std::vector<FileId>& files);
+
+/// The hypothetical instantaneous migrate/evict scheme.
+class InstantMigrationService : public MigrationService {
+ public:
+  InstantMigrationService(NameNode& namenode, Rng rng);
+
+  void request(const MigrationRequest& request) override;
+
+ private:
+  NameNode& namenode_;
+  Rng rng_;
+  /// Which node holds each (job, block) instant migration.
+  std::map<std::pair<JobId, BlockId>, NodeId> placed_;
+};
+
+}  // namespace ignem

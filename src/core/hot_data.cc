@@ -1,0 +1,68 @@
+#include "core/hot_data.h"
+
+#include "common/check.h"
+
+namespace ignem {
+
+HotDataPromoter::HotDataPromoter(Simulator& sim, DataNode& datanode,
+                                 HotDataConfig config)
+    : sim_(sim), datanode_(datanode), config_(config) {
+  IGNEM_CHECK(config.promote_threshold >= 1);
+  datanode_.set_read_listener(this);
+}
+
+void HotDataPromoter::on_block_read(NodeId node, BlockId block, JobId) {
+  IGNEM_CHECK(node == datanode_.id());
+  if (lru_index_.contains(block)) {
+    touch(block);  // recency update
+    return;
+  }
+  const int count = ++access_counts_[block];
+  if (count < config_.promote_threshold) return;
+  if (promotion_in_flight_[block]) return;
+  promotion_in_flight_[block] = true;
+  promote(block, datanode_.block_size(block));
+}
+
+void HotDataPromoter::promote(BlockId block, Bytes bytes) {
+  if (!make_room(bytes)) {
+    promotion_in_flight_[block] = false;
+    return;  // cannot fit even after evicting everything colder
+  }
+  // Reserve, then page the block in from disk (this is extra IO the
+  // promotion scheme spends *after* the hot reads already paid for disk).
+  if (!datanode_.cache().reserve(bytes)) {
+    promotion_in_flight_[block] = false;
+    return;
+  }
+  datanode_.primary_device().read(bytes, [this, block, bytes] {
+    datanode_.cache().commit_reservation(block, bytes);
+    lru_.push_front(block);
+    lru_index_[block] = lru_.begin();
+    promotion_in_flight_[block] = false;
+    ++stats_.promotions;
+    stats_.bytes_promoted += bytes;
+  });
+}
+
+bool HotDataPromoter::make_room(Bytes bytes) {
+  while (datanode_.cache().available() < bytes) {
+    if (lru_.empty()) return false;
+    const BlockId victim = lru_.back();
+    lru_.pop_back();
+    lru_index_.erase(victim);
+    datanode_.cache().unlock(victim);
+    ++stats_.evictions;
+  }
+  return true;
+}
+
+void HotDataPromoter::touch(BlockId block) {
+  const auto it = lru_index_.find(block);
+  IGNEM_CHECK(it != lru_index_.end());
+  lru_.erase(it->second);
+  lru_.push_front(block);
+  it->second = lru_.begin();
+}
+
+}  // namespace ignem

@@ -1,0 +1,53 @@
+// Configuration for the Ignem migration framework.
+#pragma once
+
+#include "common/units.h"
+
+namespace ignem {
+
+/// Order in which a slave drains its migration queue (§III-A1, §IV-C5).
+/// The paper ships smallest-job-first and evaluates FIFO as the ablation;
+/// the other policies explore the §VI design space.
+enum class MigrationPolicy {
+  kSmallestJobFirst,  ///< Prioritize blocks of jobs with smaller inputs.
+  kFifo,              ///< Arrival order (the ablation baseline).
+  kLargestJobFirst,   ///< Anti-policy: big jobs first (completeness check).
+  kLifo,              ///< Most recent submission first.
+};
+
+const char* migration_policy_name(MigrationPolicy policy);
+
+struct IgnemConfig {
+  /// Per-slave cap on locked migration memory (§III-B2). The paper's
+  /// worst-case analysis (§II-C2) shows ~12.5 GB suffices for 50 concurrent
+  /// 256 MB readers; we default to 16 GiB on 128 GB nodes.
+  Bytes slave_memory_capacity = 16 * kGiB;
+
+  /// Occupancy fraction at which a slave queries the scheduler for job
+  /// liveness and reaps references of dead jobs (§III-A4).
+  double cleanup_occupancy_threshold = 0.8;
+
+  MigrationPolicy policy = MigrationPolicy::kSmallestJobFirst;
+
+  /// Per-slave ceiling on migration throughput. The mmap+mlock page-in path
+  /// (§III-B1) runs well below raw sequential disk speed: each fault goes
+  /// through the checksummed HDFS block files and the kernel populates the
+  /// locked mapping page by page. The disk itself is released as soon as
+  /// the physical read finishes; the remainder of the budget is CPU/VM
+  /// work. Calibrated jointly against Table II's mapper speedup (~38%) and
+  /// Fig. 6's migrated-block fraction on the SWIM workload.
+  Bandwidth migration_rate_cap = mib_per_sec(80);
+
+  /// How many replicas of each block the master migrates (§III-A2). The
+  /// paper chooses exactly one — network bandwidth is plentiful, so one
+  /// memory-resident copy serves the cluster; migrating more trades memory
+  /// and disk bandwidth for task-placement flexibility. Exposed for the
+  /// replica-count ablation.
+  int replicas_to_migrate = 1;
+
+  /// One-way latency of a master<->slave or client->master RPC. Commands are
+  /// batched per slave, so a request costs O(1) RPCs per slave (§III-A6).
+  Duration rpc_latency = Duration::millis(1);
+};
+
+}  // namespace ignem

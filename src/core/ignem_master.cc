@@ -1,0 +1,125 @@
+#include "core/ignem_master.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ignem {
+
+IgnemMaster::IgnemMaster(Simulator& sim, NameNode& namenode,
+                         const IgnemConfig& config, Rng rng)
+    : sim_(sim), namenode_(namenode), config_(config), rng_(rng) {}
+
+void IgnemMaster::register_slave(IgnemSlave* slave) {
+  IGNEM_CHECK(slave != nullptr);
+  IGNEM_CHECK_MSG(
+      slave->node().value() == static_cast<std::int64_t>(slaves_.size()),
+      "slaves must register in NodeId order");
+  slaves_.push_back(slave);
+}
+
+void IgnemMaster::request(const MigrationRequest& request) {
+  if (failed_) return;  // clients retry against the restarted master
+  // Client -> master RPC.
+  sim_.schedule(config_.rpc_latency, [this, request] {
+    if (!failed_) process(request);
+  });
+}
+
+void IgnemMaster::process(const MigrationRequest& request) {
+  ++stats_.requests;
+  switch (request.op) {
+    case MigrationOp::kMigrate:
+      do_migrate(request);
+      break;
+    case MigrationOp::kEvict:
+      do_evict(request);
+      break;
+  }
+}
+
+void IgnemMaster::do_migrate(const MigrationRequest& request) {
+  // Build one batch per slave so each slave costs a single RPC (§III-A6).
+  std::map<NodeId, std::vector<PendingMigration>> batches;
+  for (const FileId file : request.files) {
+    for (const BlockId block_id : namenode_.file(file).blocks) {
+      std::vector<NodeId> locations = namenode_.live_locations(block_id);
+      if (locations.empty()) continue;  // wholly failed block; nothing to do
+      // Randomly choose replicas_to_migrate distinct replicas; the paper's
+      // design (§III-A2) migrates exactly one.
+      const std::size_t count =
+          std::min<std::size_t>(locations.size(),
+                                static_cast<std::size_t>(std::max(
+                                    1, config_.replicas_to_migrate)));
+      for (std::size_t i = 0; i < count; ++i) {
+        const auto j = static_cast<std::size_t>(rng_.uniform_int(
+            static_cast<std::int64_t>(i),
+            static_cast<std::int64_t>(locations.size()) - 1));
+        std::swap(locations[i], locations[j]);
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        const NodeId target = locations[i];
+        PendingMigration command;
+        command.block = block_id;
+        command.bytes = namenode_.block(block_id).size;
+        command.job = request.job;
+        command.job_input_bytes = request.job_input_bytes;
+        command.eviction = request.eviction;
+        batches[target].push_back(command);
+        ++stats_.migrate_commands;
+      }
+      chosen_[{request.job, block_id}] =
+          std::vector<NodeId>(locations.begin(),
+                              locations.begin() + static_cast<std::ptrdiff_t>(count));
+    }
+  }
+  for (auto& [node, batch] : batches) {
+    ++stats_.batches_sent;
+    sim_.schedule(config_.rpc_latency,
+                  [this, node, batch = std::move(batch)] {
+                    if (failed_) return;
+                    slaves_[static_cast<std::size_t>(node.value())]
+                        ->handle_migrate_batch(batch);
+                  });
+  }
+}
+
+void IgnemMaster::do_evict(const MigrationRequest& request) {
+  std::map<NodeId, std::vector<BlockId>> batches;
+  for (const FileId file : request.files) {
+    for (const BlockId block_id : namenode_.file(file).blocks) {
+      const auto it = chosen_.find({request.job, block_id});
+      if (it == chosen_.end()) continue;  // unknown (e.g. post-restart)
+      for (const NodeId node : it->second) {
+        batches[node].push_back(block_id);
+        ++stats_.evict_commands;
+      }
+      chosen_.erase(it);
+    }
+  }
+  for (auto& [node, blocks] : batches) {
+    ++stats_.batches_sent;
+    sim_.schedule(config_.rpc_latency,
+                  [this, node, job = request.job, blocks = std::move(blocks)] {
+                    if (failed_) return;
+                    slaves_[static_cast<std::size_t>(node.value())]
+                        ->handle_evict_batch(job, blocks);
+                  });
+  }
+}
+
+void IgnemMaster::fail() {
+  failed_ = true;
+  chosen_.clear();
+  for (IgnemSlave* slave : slaves_) slave->on_master_failure();
+}
+
+void IgnemMaster::restart() { failed_ = false; }
+
+NodeId IgnemMaster::chosen_replica(JobId job, BlockId block) const {
+  const auto it = chosen_.find({job, block});
+  if (it == chosen_.end() || it->second.empty()) return NodeId::invalid();
+  return it->second.front();
+}
+
+}  // namespace ignem

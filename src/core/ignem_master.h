@@ -1,0 +1,82 @@
+// IgnemMaster: the cluster-wide migration coordinator (hosted in the
+// NameNode process, §III-B).
+//
+// Determines *what* to migrate: maps the client's file list to blocks using
+// the NameNode's block map, picks exactly one replica per block (network
+// bandwidth is plentiful, so one memory-resident copy serves the cluster,
+// §III-A2), and ships batched commands to the chosen slaves (§III-A6).
+// Eviction requests route to the same slave the migrate command went to.
+// On master failure all of this soft state is lost; slaves purge to match
+// (§III-A5).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "core/ignem_config.h"
+#include "core/ignem_slave.h"
+#include "dfs/migration_service.h"
+#include "dfs/namenode.h"
+#include "sim/simulator.h"
+
+namespace ignem {
+
+struct MasterStats {
+  std::uint64_t requests = 0;
+  std::uint64_t migrate_commands = 0;
+  std::uint64_t evict_commands = 0;
+  std::uint64_t batches_sent = 0;
+};
+
+class IgnemMaster : public MigrationService {
+ public:
+  IgnemMaster(Simulator& sim, NameNode& namenode, const IgnemConfig& config,
+              Rng rng);
+
+  IgnemMaster(const IgnemMaster&) = delete;
+  IgnemMaster& operator=(const IgnemMaster&) = delete;
+
+  /// Slaves register in NodeId order, mirroring DataNode registration.
+  void register_slave(IgnemSlave* slave);
+
+  /// Client RPC entry point (DfsClient::migrate forwards here).
+  void request(const MigrationRequest& request) override;
+
+  /// Master process failure: soft state is dropped, in-flight RPCs are lost,
+  /// and every live slave purges its reference lists. Only jobs with
+  /// in-flight migrations lose performance (§III-A5).
+  void fail();
+
+  /// Brings a fresh master process up; it serves new requests with empty
+  /// state.
+  void restart();
+
+  const MasterStats& stats() const { return stats_; }
+  bool failed() const { return failed_; }
+
+  /// Where the master sent `job`'s migrate command for `block`, if any.
+  NodeId chosen_replica(JobId job, BlockId block) const;
+
+ private:
+  void process(const MigrationRequest& request);
+  void do_migrate(const MigrationRequest& request);
+  void do_evict(const MigrationRequest& request);
+
+  Simulator& sim_;
+  NameNode& namenode_;
+  IgnemConfig config_;
+  Rng rng_;
+  std::vector<IgnemSlave*> slaves_;
+  bool failed_ = false;
+
+  /// Soft state: which slave(s) hold each (job, block) migration. One entry
+  /// in the paper's design; more when replicas_to_migrate > 1.
+  std::map<std::pair<JobId, BlockId>, std::vector<NodeId>> chosen_;
+  MasterStats stats_;
+};
+
+}  // namespace ignem

@@ -1,0 +1,253 @@
+#include "core/ignem_slave.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ignem {
+
+IgnemSlave::IgnemSlave(Simulator& sim, DataNode& datanode,
+                       const IgnemConfig& config,
+                       const JobLivenessOracle* liveness)
+    : sim_(sim),
+      datanode_(datanode),
+      config_(config),
+      liveness_(liveness),
+      queue_(config.policy) {
+  datanode_.set_read_listener(this);
+}
+
+NodeId IgnemSlave::node() const { return datanode_.id(); }
+
+Bytes IgnemSlave::locked_bytes() const { return datanode_.cache().used(); }
+
+bool IgnemSlave::holds(BlockId block) const {
+  const auto it = blocks_.find(block);
+  return it != blocks_.end() && it->second.phase == Phase::kInMemory &&
+         !it->second.jobs.empty();
+}
+
+void IgnemSlave::add_reference(BlockId block, JobId job) {
+  BlockState& state = blocks_[block];
+  if (std::find(state.jobs.begin(), state.jobs.end(), job) ==
+      state.jobs.end()) {
+    state.jobs.push_back(job);
+    job_blocks_[job].insert(block);
+  }
+}
+
+void IgnemSlave::handle_migrate_batch(
+    const std::vector<PendingMigration>& commands) {
+  for (PendingMigration command : commands) {
+    ++stats_.commands_received;
+    job_modes_[command.job] = command.eviction;
+    const auto it = blocks_.find(command.block);
+    const bool is_new = it == blocks_.end();
+    add_reference(command.block, command.job);
+    BlockState& state = blocks_[command.block];
+    state.bytes = command.bytes;
+    if (is_new) state.phase = Phase::kQueued;
+    if (state.phase == Phase::kQueued) {
+      command.arrival_seq = next_seq_++;
+      queue_.push(command);
+    }
+  }
+  maybe_start();
+}
+
+void IgnemSlave::maybe_start() {
+  while (!current_.has_value()) {
+    const PendingMigration* head = queue_.peek();
+    if (head == nullptr) return;
+
+    const auto it = blocks_.find(head->block);
+    if (it == blocks_.end() || it->second.phase != Phase::kQueued) {
+      // Stale entry (block already handled through another job's command).
+      queue_.pop();
+      continue;
+    }
+    BlockState& state = it->second;
+
+    BufferCache& cache = datanode_.cache();
+    if (cache.available() < state.bytes) {
+      const double occupancy =
+          cache.capacity() == 0
+              ? 1.0
+              : static_cast<double>(cache.used()) /
+                    static_cast<double>(cache.capacity());
+      if (occupancy >= config_.cleanup_occupancy_threshold) {
+        cleanup_dead_jobs();
+      }
+      if (cache.available() < state.bytes) {
+        // Stalled: commands wait until memory frees or a missed read
+        // discards them (§III-B2).
+        return;
+      }
+    }
+
+    const PendingMigration m = *queue_.pop();
+    queue_.erase_block(m.block);  // sibling entries ride on this migration
+    // Reserve capacity now; the block only becomes visible to readers when
+    // the page-in completes (commit in on_migration_complete).
+    IGNEM_CHECK(cache.reserve(state.bytes));
+    state.phase = Phase::kMigrating;
+    const SimTime started = sim_.now();
+    const TransferHandle transfer = datanode_.primary_device().read(
+        state.bytes, [this, block = m.block, bytes = state.bytes, started] {
+          // The physical read is done and the disk free; pad out to the
+          // mlock page-in budget (config.migration_rate_cap) before the
+          // block becomes readable from memory.
+          const Duration budget = transfer_time(bytes, config_.migration_rate_cap);
+          const Duration elapsed = sim_.now() - started;
+          const Duration pad =
+              budget > elapsed ? budget - elapsed : Duration::zero();
+          sim_.schedule(pad, [this, block, bytes] {
+            on_migration_complete(block, bytes);
+          });
+        });
+    current_ = ActiveMigration{m.block, state.bytes, transfer};
+  }
+}
+
+void IgnemSlave::on_migration_complete(BlockId block, Bytes bytes) {
+  // A master failure or slave reset may have purged this migration while
+  // its page-in pad event was pending; the purge already returned the
+  // reservation, so the late event is a no-op.
+  if (!current_.has_value() || current_->block != block) return;
+  current_.reset();
+  ++stats_.migrations_completed;
+  stats_.bytes_migrated += bytes;
+  const auto it = blocks_.find(block);
+  IGNEM_CHECK(it != blocks_.end());
+  datanode_.cache().commit_reservation(block, bytes);
+  it->second.phase = Phase::kInMemory;
+  if (it->second.jobs.empty()) {
+    // Every interested job finished or read from disk mid-migration.
+    drop_block(block);
+  }
+  maybe_start();
+}
+
+void IgnemSlave::remove_reference(BlockId block, JobId job, bool missed_read) {
+  const auto it = blocks_.find(block);
+  if (it == blocks_.end()) return;
+  BlockState& state = it->second;
+  const auto jit = std::find(state.jobs.begin(), state.jobs.end(), job);
+  if (jit == state.jobs.end()) return;
+  state.jobs.erase(jit);
+  if (const auto jb = job_blocks_.find(job); jb != job_blocks_.end()) {
+    jb->second.erase(block);
+    if (jb->second.empty()) {
+      job_blocks_.erase(jb);
+      job_modes_.erase(job);
+    }
+  }
+  if (missed_read && state.phase == Phase::kQueued) {
+    ++stats_.commands_discarded_missed_read;
+  }
+  if (state.jobs.empty() && state.phase != Phase::kMigrating) {
+    drop_block(block);
+    maybe_start();  // queue may have been memory-stalled
+  }
+}
+
+void IgnemSlave::drop_block(BlockId block) {
+  const auto it = blocks_.find(block);
+  if (it == blocks_.end()) return;
+  switch (it->second.phase) {
+    case Phase::kQueued:
+      queue_.erase_block(block);
+      break;
+    case Phase::kInMemory:
+      datanode_.cache().unlock(block);
+      ++stats_.evictions;
+      break;
+    case Phase::kMigrating:
+      // Never reached: callers defer to on_migration_complete.
+      IGNEM_CHECK(false);
+  }
+  for (const JobId job : it->second.jobs) {
+    if (const auto jb = job_blocks_.find(job); jb != job_blocks_.end()) {
+      jb->second.erase(block);
+      if (jb->second.empty()) {
+        job_blocks_.erase(jb);
+        job_modes_.erase(job);
+      }
+    }
+  }
+  blocks_.erase(it);
+}
+
+void IgnemSlave::handle_evict_batch(JobId job,
+                                    const std::vector<BlockId>& blocks) {
+  for (const BlockId block : blocks) {
+    remove_reference(block, job, /*missed_read=*/false);
+  }
+}
+
+void IgnemSlave::on_block_read(NodeId node, BlockId block, JobId job) {
+  IGNEM_CHECK(node == datanode_.id());
+  const auto mode = job_modes_.find(job);
+  if (mode == job_modes_.end()) return;  // not an Ignem-tracked job here
+  if (mode->second != EvictionMode::kImplicit) return;
+  remove_reference(block, job, /*missed_read=*/true);
+}
+
+void IgnemSlave::cleanup_dead_jobs() {
+  ++stats_.cleanup_rounds;
+  std::vector<JobId> jobs;
+  jobs.reserve(job_blocks_.size());
+  for (const auto& [job, _] : job_blocks_) jobs.push_back(job);
+  for (const JobId job : jobs) {
+    if (liveness_ != nullptr && liveness_->is_job_running(job)) continue;
+    const auto it = job_blocks_.find(job);
+    if (it == job_blocks_.end()) continue;
+    const std::vector<BlockId> blocks(it->second.begin(), it->second.end());
+    for (const BlockId block : blocks) {
+      ++stats_.references_reaped;
+      remove_reference(block, job, /*missed_read=*/false);
+    }
+  }
+}
+
+void IgnemSlave::on_master_failure() {
+  // Match the new master's empty state (§III-A5): drop every reference,
+  // abort the in-flight migration, and unlock everything.
+  if (current_.has_value()) {
+    datanode_.primary_device().abort(current_->transfer);
+    datanode_.cache().cancel_reservation(current_->bytes);
+    current_.reset();
+  }
+  for (const auto& [block, state] : blocks_) {
+    if (state.phase == Phase::kInMemory) {
+      datanode_.cache().unlock(block);
+      ++stats_.evictions;
+    }
+  }
+  blocks_.clear();
+  job_blocks_.clear();
+  job_modes_.clear();
+  while (queue_.pop().has_value()) {
+  }
+}
+
+void IgnemSlave::reset() {
+  if (current_.has_value()) {
+    datanode_.primary_device().abort(current_->transfer);
+    // The locked pool itself is wiped by DataNode::fail(); only drop our
+    // bookkeeping here. If the DataNode process survived (reset without
+    // fail), the reservation must still be returned.
+    if (datanode_.cache().reserved() >= current_->bytes) {
+      datanode_.cache().cancel_reservation(current_->bytes);
+    }
+    current_.reset();
+  }
+  blocks_.clear();
+  job_blocks_.clear();
+  job_modes_.clear();
+  while (queue_.pop().has_value()) {
+  }
+  // The locked pool itself is reclaimed by DataNode::fail().
+}
+
+}  // namespace ignem

@@ -1,0 +1,108 @@
+#include "core/migration_queue.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace ignem {
+
+bool MigrationQueue::Order::operator()(const PendingMigration& a,
+                                       const PendingMigration& b) const {
+  switch (policy) {
+    case MigrationPolicy::kSmallestJobFirst:
+      if (a.job_input_bytes != b.job_input_bytes) {
+        return a.job_input_bytes < b.job_input_bytes;
+      }
+      // Equal input sizes: job submission time breaks the tie (§III-A1);
+      // arrival_seq encodes submission order.
+      break;
+    case MigrationPolicy::kLargestJobFirst:
+      if (a.job_input_bytes != b.job_input_bytes) {
+        return a.job_input_bytes > b.job_input_bytes;
+      }
+      break;
+    case MigrationPolicy::kLifo:
+      return a.arrival_seq > b.arrival_seq;
+    case MigrationPolicy::kFifo:
+      break;
+  }
+  if (a.arrival_seq != b.arrival_seq) return a.arrival_seq < b.arrival_seq;
+  if (a.block != b.block) return a.block < b.block;
+  return a.job < b.job;
+}
+
+const char* migration_policy_name(MigrationPolicy policy) {
+  switch (policy) {
+    case MigrationPolicy::kSmallestJobFirst: return "smallest-job-first";
+    case MigrationPolicy::kFifo: return "fifo";
+    case MigrationPolicy::kLargestJobFirst: return "largest-job-first";
+    case MigrationPolicy::kLifo: return "lifo";
+  }
+  return "?";
+}
+
+MigrationQueue::MigrationQueue(MigrationPolicy policy)
+    : entries_(Order{policy}) {}
+
+void MigrationQueue::push(const PendingMigration& m) {
+  IGNEM_CHECK(m.block.valid() && m.job.valid() && m.bytes > 0);
+  const auto [it, inserted] = entries_.insert(m);
+  if (inserted) ++block_refcount_[m.block];
+}
+
+std::optional<PendingMigration> MigrationQueue::pop() {
+  if (entries_.empty()) return std::nullopt;
+  PendingMigration m = *entries_.begin();
+  entries_.erase(entries_.begin());
+  if (--block_refcount_[m.block] == 0) block_refcount_.erase(m.block);
+  return m;
+}
+
+const PendingMigration* MigrationQueue::peek() const {
+  return entries_.empty() ? nullptr : &*entries_.begin();
+}
+
+std::size_t MigrationQueue::erase_job(JobId job) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->job == job) {
+      if (--block_refcount_[it->block] == 0) block_refcount_.erase(it->block);
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::size_t MigrationQueue::erase_block(BlockId block) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->block == block) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  if (removed > 0) block_refcount_.erase(block);
+  return removed;
+}
+
+bool MigrationQueue::erase(BlockId block, JobId job) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->block == block && it->job == job) {
+      if (--block_refcount_[block] == 0) block_refcount_.erase(block);
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MigrationQueue::contains(BlockId block) const {
+  return block_refcount_.contains(block);
+}
+
+}  // namespace ignem

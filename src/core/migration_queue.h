@@ -1,0 +1,70 @@
+// The per-slave queue of pending block migrations.
+//
+// Orders work by the configured policy (§III-A1): smallest-job-first — jobs
+// with smaller total inputs are more likely to be fully migrated within
+// their lead-time, and more jobs benefit — with job submission order as the
+// tie-breaker; or plain FIFO for the §IV-C5 ablation. Started migrations
+// are never preempted (that decision lives in the slave; the queue only
+// holds not-yet-started work).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "core/ignem_config.h"
+#include "dfs/migration_service.h"
+
+namespace ignem {
+
+/// One queued command: migrate `block` on behalf of `job`.
+struct PendingMigration {
+  BlockId block;
+  Bytes bytes = 0;
+  JobId job;
+  Bytes job_input_bytes = 0;
+  EvictionMode eviction = EvictionMode::kImplicit;
+  std::uint64_t arrival_seq = 0;  ///< Global command order (submission order).
+};
+
+class MigrationQueue {
+ public:
+  explicit MigrationQueue(MigrationPolicy policy);
+
+  /// Enqueues a command. Multiple jobs may queue the same block; each entry
+  /// is tracked separately so reference bookkeeping stays exact.
+  void push(const PendingMigration& m);
+
+  /// Removes and returns the highest-priority entry, or nullopt when empty.
+  std::optional<PendingMigration> pop();
+
+  /// Peeks without removing.
+  const PendingMigration* peek() const;
+
+  /// Drops all entries for `job`; returns how many were removed.
+  std::size_t erase_job(JobId job);
+
+  /// Drops all entries for `block` (any job); returns how many were removed.
+  std::size_t erase_block(BlockId block);
+
+  /// Drops the specific (block, job) entry if present.
+  bool erase(BlockId block, JobId job);
+
+  bool contains(BlockId block) const;
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Order {
+    MigrationPolicy policy;
+    bool operator()(const PendingMigration& a, const PendingMigration& b) const;
+  };
+
+  std::set<PendingMigration, Order> entries_;
+  std::unordered_map<BlockId, int> block_refcount_;
+};
+
+}  // namespace ignem

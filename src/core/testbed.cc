@@ -1,0 +1,188 @@
+#include "core/testbed.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ignem {
+
+const char* run_mode_name(RunMode mode) {
+  switch (mode) {
+    case RunMode::kHdfs: return "HDFS";
+    case RunMode::kHdfsInputsInRam: return "HDFS-Inputs-in-RAM";
+    case RunMode::kIgnem: return "Ignem";
+    case RunMode::kInstantMigration: return "Instant-Migration";
+    case RunMode::kHotDataPromotion: return "Hot-Data-Promotion";
+  }
+  return "?";
+}
+
+Testbed::Testbed(TestbedConfig config)
+    : config_(config), rng_(config.seed) {
+  const std::size_t n = config_.cluster.node_count;
+  IGNEM_CHECK(n > 0);
+
+  namenode_ = std::make_unique<NameNode>(rng_.fork(1), config_.replication,
+                                         config_.block_size,
+                                         config_.rack_count);
+  const DeviceProfile primary =
+      config_.primary_profile.value_or(profile_for(config_.storage_media));
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId id(static_cast<std::int64_t>(i));
+    datanodes_.push_back(std::make_unique<DataNode>(
+        sim_, id, primary, config_.cache_capacity_per_node,
+        rng_.fork(100 + i)));
+    namenode_->register_datanode(datanodes_.back().get());
+  }
+
+  network_ = std::make_unique<Network>(sim_, n, config_.network);
+  rm_ = std::make_unique<ResourceManager>(sim_, config_.cluster);
+  dfs_ = std::make_unique<DfsClient>(sim_, *namenode_, *network_, &metrics_);
+
+  switch (config_.mode) {
+    case RunMode::kIgnem: {
+      master_ = std::make_unique<IgnemMaster>(sim_, *namenode_, config_.ignem,
+                                              rng_.fork(2));
+      for (std::size_t i = 0; i < n; ++i) {
+        slaves_.push_back(std::make_unique<IgnemSlave>(
+            sim_, *datanodes_[i], config_.ignem, rm_.get()));
+        master_->register_slave(slaves_.back().get());
+      }
+      dfs_->set_migration_service(master_.get());
+      break;
+    }
+    case RunMode::kInstantMigration: {
+      instant_ = std::make_unique<InstantMigrationService>(*namenode_,
+                                                           rng_.fork(3));
+      dfs_->set_migration_service(instant_.get());
+      break;
+    }
+    case RunMode::kHotDataPromotion: {
+      for (std::size_t i = 0; i < n; ++i) {
+        promoters_.push_back(std::make_unique<HotDataPromoter>(
+            sim_, *datanodes_[i], config_.hot_data));
+      }
+      break;
+    }
+    case RunMode::kHdfs:
+    case RunMode::kHdfsInputsInRam:
+      break;
+  }
+
+  if (config_.memory_sample_period > Duration::zero() &&
+      (config_.mode == RunMode::kIgnem ||
+       config_.mode == RunMode::kInstantMigration)) {
+    memory_sampler_ = std::make_unique<PeriodicTask>(
+        sim_, config_.memory_sample_period, [this] { sample_memory(); });
+  }
+}
+
+Testbed::~Testbed() = default;
+
+FileId Testbed::create_file(const std::string& path, Bytes size) {
+  return namenode_->create_file(path, size);
+}
+
+void Testbed::preload(const std::vector<FileId>& files) {
+  preload_all_inputs(*namenode_, files);
+}
+
+IgnemSlave* Testbed::ignem_slave(NodeId node) {
+  if (slaves_.empty()) return nullptr;
+  IGNEM_CHECK(node.valid() &&
+              static_cast<std::size_t>(node.value()) < slaves_.size());
+  return slaves_[static_cast<std::size_t>(node.value())].get();
+}
+
+HotDataPromoter* Testbed::hot_data_promoter(NodeId node) {
+  if (promoters_.empty()) return nullptr;
+  IGNEM_CHECK(node.valid() &&
+              static_cast<std::size_t>(node.value()) < promoters_.size());
+  return promoters_[static_cast<std::size_t>(node.value())].get();
+}
+
+void Testbed::sample_memory() {
+  for (const auto& dn : datanodes_) {
+    MemorySample sample;
+    sample.node = dn->id();
+    sample.when = sim_.now();
+    sample.locked_bytes = dn->cache().used();
+    metrics_.add_memory_sample(sample);
+  }
+}
+
+bool Testbed::migration_enabled() const {
+  return config_.mode == RunMode::kIgnem ||
+         config_.mode == RunMode::kInstantMigration;
+}
+
+JobRunner* Testbed::submit_job(JobSpec spec,
+                               JobRunner::CompletionCallback on_complete,
+                               bool allow_migration) {
+  spec.use_ignem = allow_migration && migration_enabled();
+  // vmtouch semantics: in the inputs-in-RAM configuration every input file
+  // is pinned once it exists, before the job reads it.
+  if (config_.mode == RunMode::kHdfsInputsInRam) preload(spec.inputs);
+  const JobId id = next_job_id();
+  auto runner = std::make_unique<JobRunner>(sim_, *rm_, *dfs_, *network_,
+                                            &metrics_, id, std::move(spec));
+  JobRunner* raw = runner.get();
+  runners_.push_back(std::move(runner));
+  ++jobs_remaining_;
+  raw->submit([this, cb = std::move(on_complete)](const JobRecord& record) {
+    --jobs_remaining_;
+    if (cb) cb(record);
+  });
+  return raw;
+}
+
+void Testbed::run_until_jobs_done() {
+  sim_.run_until([this] { return jobs_remaining_ == 0; });
+  IGNEM_CHECK_MSG(jobs_remaining_ == 0,
+                  "jobs still pending: " << jobs_remaining_);
+  // Drain administrative traffic (evict RPCs from the final completions):
+  // the cluster's periodic heartbeats keep the queue non-empty forever, so
+  // run a bounded grace window rather than to quiescence.
+  sim_.run(sim_.now() + Duration::seconds(1.0));
+}
+
+void Testbed::run_workload(std::vector<ScheduledJob> jobs) {
+  IGNEM_CHECK(!jobs.empty());
+
+  const bool migration_on = migration_enabled();
+  if (config_.mode == RunMode::kHdfsInputsInRam) {
+    std::vector<FileId> all_inputs;
+    for (const auto& job : jobs) {
+      all_inputs.insert(all_inputs.end(), job.spec.inputs.begin(),
+                        job.spec.inputs.end());
+    }
+    std::sort(all_inputs.begin(), all_inputs.end());
+    all_inputs.erase(std::unique(all_inputs.begin(), all_inputs.end()),
+                     all_inputs.end());
+    preload(all_inputs);
+  }
+
+  jobs_remaining_ += jobs.size();
+  for (auto& job : jobs) {
+    job.spec.use_ignem = migration_on;
+    const JobId id = next_job_id();
+    auto runner = std::make_unique<JobRunner>(sim_, *rm_, *dfs_, *network_,
+                                              &metrics_, id, job.spec);
+    JobRunner* raw = runner.get();
+    runners_.push_back(std::move(runner));
+    sim_.schedule(job.arrival, [this, raw] {
+      raw->submit([this](const JobRecord&) { --jobs_remaining_; });
+    });
+  }
+
+  sim_.run_until([this] { return jobs_remaining_ == 0; });
+  IGNEM_CHECK_MSG(jobs_remaining_ == 0,
+                  "workload did not finish: " << jobs_remaining_
+                                              << " jobs still pending");
+  // Grace window: let the final jobs' evict RPCs land (see
+  // run_until_jobs_done) before callers inspect cache state.
+  sim_.run(sim_.now() + Duration::seconds(1.0));
+  if (memory_sampler_ != nullptr) memory_sampler_->stop();
+}
+
+}  // namespace ignem

@@ -1,0 +1,150 @@
+// Testbed: one fully wired simulated cluster.
+//
+// Assembles the whole stack — simulator, per-node devices and buffer
+// caches, DataNodes, NameNode, network, ResourceManager, DfsClient, and
+// (depending on mode) the Ignem master/slaves, the vmtouch preload, or the
+// instant-migration hypothetical — mirroring the paper's 8-server testbed
+// (§IV-A). Benches and examples build a Testbed, create input files, and
+// run a workload of JobSpecs with arrival times.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/resource_manager.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "core/baselines.h"
+#include "core/hot_data.h"
+#include "core/ignem_config.h"
+#include "core/ignem_master.h"
+#include "core/ignem_slave.h"
+#include "dfs/dfs_client.h"
+#include "dfs/namenode.h"
+#include "mapreduce/job_runner.h"
+#include "metrics/run_metrics.h"
+#include "net/network.h"
+#include "sim/periodic.h"
+#include "sim/simulator.h"
+
+namespace ignem {
+
+/// Which of the paper's file-system configurations to run (§IV-A), plus the
+/// related-work hot-data baseline (§V).
+enum class RunMode {
+  kHdfs,             ///< Stock HDFS, inputs cold on the primary device.
+  kHdfsInputsInRam,  ///< vmtouch: every input replica locked in RAM.
+  kIgnem,            ///< The real system.
+  kInstantMigration, ///< Fig. 7's hypothetical instantaneous scheme.
+  kHotDataPromotion, ///< Triple-H-style frequency-based promotion (§V).
+};
+
+const char* run_mode_name(RunMode mode);
+
+struct TestbedConfig {
+  RunMode mode = RunMode::kHdfs;
+  ClusterConfig cluster;
+  IgnemConfig ignem;
+  NetworkProfile network;
+  MediaType storage_media = MediaType::kHdd;
+  /// Custom primary-device profile (defaults to profile_for(storage_media));
+  /// lets experiments model non-standard hardware.
+  std::optional<DeviceProfile> primary_profile;
+  /// Buffer-cache capacity per node. In kHdfsInputsInRam mode this must fit
+  /// all input replicas (the paper's nodes have 128 GB RAM).
+  Bytes cache_capacity_per_node = 16 * kGiB;
+  int replication = 3;
+  Bytes block_size = kDefaultBlockSize;
+  /// Racks for HDFS-style placement; 1 = flat (the paper's 8-node testbed).
+  int rack_count = 1;
+  HotDataConfig hot_data;  ///< Used in kHotDataPromotion mode.
+  std::uint64_t seed = 42;
+  /// Period of the per-node migration-memory sampler (Fig. 7); zero disables.
+  Duration memory_sample_period = Duration::seconds(1.0);
+};
+
+/// A job plus its arrival offset from workload start.
+struct ScheduledJob {
+  Duration arrival = Duration::zero();
+  JobSpec spec;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config);
+  ~Testbed();
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  /// Creates an input file before the workload runs (inputs are generated
+  /// ahead of the measured run, as in the paper).
+  FileId create_file(const std::string& path, Bytes size);
+
+  /// Pins all inputs in RAM. Called automatically by run_workload() in
+  /// kHdfsInputsInRam mode for every job input; callable directly for
+  /// custom setups.
+  void preload(const std::vector<FileId>& files);
+
+  /// Runs the jobs to completion (arrival offsets are relative to the call
+  /// time). Forces each spec's use_ignem flag to match the mode. Returns
+  /// when every job has finished.
+  void run_workload(std::vector<ScheduledJob> jobs);
+
+  /// Submits one job now (asynchronously). The spec's use_ignem flag is
+  /// forced to `allow_migration && <mode uses migration>`. Used by drivers
+  /// that chain jobs (e.g. multi-stage Hive queries). Pair with
+  /// run_until_jobs_done().
+  JobRunner* submit_job(JobSpec spec, JobRunner::CompletionCallback on_complete,
+                        bool allow_migration = true);
+
+  /// Runs the simulator until every job submitted so far has completed,
+  /// including jobs submitted by completion callbacks.
+  void run_until_jobs_done();
+
+  /// True when this mode migrates data (Ignem or the instant hypothetical).
+  bool migration_enabled() const;
+
+  Simulator& sim() { return sim_; }
+  RunMetrics& metrics() { return metrics_; }
+  NameNode& namenode() { return *namenode_; }
+  ResourceManager& resource_manager() { return *rm_; }
+  DfsClient& dfs() { return *dfs_; }
+  Network& network() { return *network_; }
+  IgnemMaster* ignem_master() { return master_.get(); }
+  IgnemSlave* ignem_slave(NodeId node);
+  HotDataPromoter* hot_data_promoter(NodeId node);
+  DataNode& datanode(NodeId node) { return *namenode_->datanode(node); }
+  const TestbedConfig& config() const { return config_; }
+
+  /// Allocates a fresh JobId (monotonic; submission order == id order).
+  JobId next_job_id() { return JobId(next_job_++); }
+
+ private:
+  void sample_memory();
+
+  TestbedConfig config_;
+  Simulator sim_;
+  RunMetrics metrics_;
+  Rng rng_;
+
+  std::vector<std::unique_ptr<DataNode>> datanodes_;
+  std::unique_ptr<NameNode> namenode_;
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<ResourceManager> rm_;
+  std::unique_ptr<DfsClient> dfs_;
+
+  std::unique_ptr<IgnemMaster> master_;
+  std::vector<std::unique_ptr<IgnemSlave>> slaves_;
+  std::unique_ptr<InstantMigrationService> instant_;
+  std::vector<std::unique_ptr<HotDataPromoter>> promoters_;
+  std::unique_ptr<PeriodicTask> memory_sampler_;
+
+  std::vector<std::unique_ptr<JobRunner>> runners_;
+  std::int64_t next_job_ = 0;
+  std::size_t jobs_remaining_ = 0;
+};
+
+}  // namespace ignem

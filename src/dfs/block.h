@@ -1,0 +1,22 @@
+// Block metadata shared between the NameNode, DataNodes, and Ignem.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace ignem {
+
+/// Default HDFS block size used across the paper's experiments (§II-B).
+inline constexpr Bytes kDefaultBlockSize = 64 * kMiB;
+
+struct BlockInfo {
+  BlockId id;
+  FileId file;
+  Bytes size = 0;
+  std::vector<NodeId> replicas;  ///< Placement at creation; liveness is the
+                                 ///< NameNode's concern.
+};
+
+}  // namespace ignem

@@ -1,0 +1,60 @@
+#include "dfs/datanode.h"
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ignem {
+
+DataNode::DataNode(Simulator& sim, NodeId id, DeviceProfile primary_profile,
+                   Bytes cache_capacity, Rng rng)
+    : sim_(sim), id_(id), cache_(cache_capacity) {
+  const std::string base = "dn" + std::to_string(id.value());
+  primary_ = std::make_unique<StorageDevice>(sim, base + "/primary",
+                                             primary_profile, rng.fork(1));
+  ram_ = std::make_unique<StorageDevice>(sim, base + "/ram", ram_profile(),
+                                         rng.fork(2));
+}
+
+void DataNode::add_block(BlockId block, Bytes size) {
+  IGNEM_CHECK(block.valid());
+  IGNEM_CHECK(size > 0);
+  blocks_[block] = size;
+}
+
+Bytes DataNode::block_size(BlockId block) const {
+  const auto it = blocks_.find(block);
+  IGNEM_CHECK_MSG(it != blocks_.end(), "block " << block.value()
+                                                << " not on node "
+                                                << id_.value());
+  return it->second;
+}
+
+void DataNode::read_block(BlockId block, JobId job, ReadCallback on_complete) {
+  IGNEM_CHECK_MSG(alive_, "read on failed DataNode " << id_.value());
+  const Bytes size = block_size(block);
+  const bool from_memory = cache_.contains(block);
+  StorageDevice& device = from_memory ? *ram_ : *primary_;
+  const SimTime start = sim_.now();
+  device.read(size, [this, block, job, start, from_memory,
+                     cb = std::move(on_complete)] {
+    const BlockReadResult result{sim_.now() - start, from_memory};
+    if (listener_ != nullptr) listener_->on_block_read(id_, block, job);
+    cb(result);
+  });
+}
+
+void DataNode::write(Bytes bytes, std::function<void()> on_complete) {
+  IGNEM_CHECK_MSG(alive_, "write on failed DataNode " << id_.value());
+  primary_->write(bytes, std::move(on_complete));
+}
+
+void DataNode::fail() {
+  alive_ = false;
+  cache_.clear();  // the OS reclaims the dead process's locked pages
+}
+
+void DataNode::restart() { alive_ = true; }
+
+}  // namespace ignem

@@ -1,0 +1,88 @@
+// DataNode: per-node block storage and the read path.
+//
+// Owns the node's primary storage device (HDD or SSD, per cluster config), a
+// RAM channel for serving locked buffer-cache blocks, and the BufferCache
+// itself. The Ignem slave (core module) plugs into the DataNode via the
+// device/cache accessors and the BlockReadListener hook (used for implicit
+// eviction, §III-B2).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+#include "storage/buffer_cache.h"
+#include "storage/device.h"
+
+namespace ignem {
+
+/// Observes completed block reads on a DataNode (e.g. the Ignem slave's
+/// implicit-eviction hook). Reads carry the job ID, as in the paper's
+/// modified HDFS read calls.
+class BlockReadListener {
+ public:
+  virtual ~BlockReadListener() = default;
+  virtual void on_block_read(NodeId node, BlockId block, JobId job) = 0;
+};
+
+struct BlockReadResult {
+  Duration duration;
+  bool from_memory = false;
+};
+
+class DataNode {
+ public:
+  using ReadCallback = std::function<void(const BlockReadResult&)>;
+
+  DataNode(Simulator& sim, NodeId id, DeviceProfile primary_profile,
+           Bytes cache_capacity, Rng rng);
+
+  DataNode(const DataNode&) = delete;
+  DataNode& operator=(const DataNode&) = delete;
+
+  NodeId id() const { return id_; }
+  bool alive() const { return alive_; }
+
+  /// Registers a block as stored on this node (metadata only: experiment
+  /// inputs are generated before the measured run, as in the paper).
+  void add_block(BlockId block, Bytes size);
+  bool has_block(BlockId block) const { return blocks_.contains(block); }
+  Bytes block_size(BlockId block) const;
+
+  /// Reads a block for `job`; serves from the locked pool at RAM speed when
+  /// present, otherwise from the primary device. Fires the listener after
+  /// the read completes, then the callback.
+  void read_block(BlockId block, JobId job, ReadCallback on_complete);
+
+  /// Writes `bytes` of job output through the primary device.
+  void write(Bytes bytes, std::function<void()> on_complete);
+
+  /// Process failure: all locked memory is reclaimed by the OS; stored
+  /// blocks persist on disk. `restart()` brings the process back.
+  void fail();
+  void restart();
+
+  StorageDevice& primary_device() { return *primary_; }
+  StorageDevice& ram_device() { return *ram_; }
+  BufferCache& cache() { return cache_; }
+  const BufferCache& cache() const { return cache_; }
+
+  void set_read_listener(BlockReadListener* listener) { listener_ = listener; }
+
+ private:
+  Simulator& sim_;
+  NodeId id_;
+  std::unique_ptr<StorageDevice> primary_;
+  std::unique_ptr<StorageDevice> ram_;
+  BufferCache cache_;
+  std::unordered_map<BlockId, Bytes> blocks_;
+  bool alive_ = true;
+  BlockReadListener* listener_ = nullptr;
+};
+
+}  // namespace ignem

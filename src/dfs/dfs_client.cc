@@ -1,0 +1,93 @@
+#include "dfs/dfs_client.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ignem {
+
+DfsClient::DfsClient(Simulator& sim, NameNode& namenode, Network& network,
+                     RunMetrics* metrics)
+    : sim_(sim), namenode_(namenode), network_(network), metrics_(metrics) {}
+
+NodeId DfsClient::choose_replica(NodeId reader, BlockId block) const {
+  const std::vector<NodeId> locations = namenode_.live_locations(block);
+  IGNEM_CHECK_MSG(!locations.empty(),
+                  "no live replica for block " << block.value());
+  const bool reader_has_replica =
+      std::find(locations.begin(), locations.end(), reader) != locations.end();
+
+  // 1. Local memory-resident copy.
+  if (reader_has_replica &&
+      namenode_.datanode(reader)->cache().contains(block)) {
+    return reader;
+  }
+  // 2. Any memory-resident copy (remote RAM + network beats local disk).
+  for (const NodeId node : locations) {
+    if (namenode_.datanode(node)->cache().contains(block)) return node;
+  }
+  // 3. Local disk.
+  if (reader_has_replica) return reader;
+  // 4. Remote disk: pick the least-loaded replica's device, breaking ties by
+  //    node id for determinism.
+  NodeId best = locations.front();
+  std::size_t best_load = namenode_.datanode(best)->primary_device().active_requests();
+  for (const NodeId node : locations) {
+    const std::size_t load =
+        namenode_.datanode(node)->primary_device().active_requests();
+    if (load < best_load || (load == best_load && node < best)) {
+      best = node;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+void DfsClient::read_block(NodeId reader, BlockId block, JobId job,
+                           ReadCallback on_complete) {
+  const NodeId source = choose_replica(reader, block);
+  DataNode* source_node = namenode_.datanode(source);
+  const Bytes bytes = namenode_.block(block).size;
+  const SimTime start = sim_.now();
+  const bool remote = source != reader;
+
+  source_node->read_block(
+      block, job,
+      [this, reader, source, block, job, bytes, start, remote,
+       cb = std::move(on_complete)](const BlockReadResult& local) {
+        auto finish = [this, reader, block, job, bytes, start, remote,
+                       from_memory = local.from_memory, cb]() {
+          BlockReadRecord record;
+          record.block = block;
+          record.job = job;
+          record.reader = reader;
+          record.bytes = bytes;
+          record.start = start;
+          record.duration = sim_.now() - start;
+          record.from_memory = from_memory;
+          record.remote = remote;
+          if (metrics_ != nullptr) metrics_->add_block_read(record);
+          cb(record);
+        };
+        if (remote) {
+          network_.transfer(source, reader, bytes, finish);
+        } else {
+          finish();
+        }
+      });
+}
+
+std::vector<NodeId> DfsClient::preferred_locations(BlockId block) const {
+  std::vector<NodeId> locations = namenode_.live_locations(block);
+  std::stable_partition(locations.begin(), locations.end(),
+                        [this, block](NodeId node) {
+                          return namenode_.datanode(node)->cache().contains(block);
+                        });
+  return locations;
+}
+
+void DfsClient::migrate(const MigrationRequest& request) {
+  if (service_ != nullptr) service_->request(request);
+}
+
+}  // namespace ignem

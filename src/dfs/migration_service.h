@@ -1,0 +1,41 @@
+// The client-facing migration API (paper §III-B3).
+//
+// DfsClient::migrate() forwards to this interface; the Ignem master
+// implements it. Defined here so the DFS layer has no dependency on the
+// Ignem core — a stock-HDFS configuration simply runs without a service.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace ignem {
+
+enum class MigrationOp {
+  kMigrate,  ///< Pull the files' blocks into memory ahead of the job's reads.
+  kEvict,    ///< Drop this job from the blocks' reference lists.
+};
+
+enum class EvictionMode {
+  kExplicit,  ///< Blocks stay locked until the job submitter sends kEvict.
+  kImplicit,  ///< A job's reference is dropped as soon as it reads the block.
+};
+
+struct MigrationRequest {
+  MigrationOp op = MigrationOp::kMigrate;
+  EvictionMode eviction = EvictionMode::kImplicit;
+  JobId job;
+  Bytes job_input_bytes = 0;  ///< Used by slaves to prioritize small jobs.
+  std::vector<FileId> files;
+};
+
+class MigrationService {
+ public:
+  virtual ~MigrationService() = default;
+
+  /// Handles one migrate/evict RPC from a job submitter.
+  virtual void request(const MigrationRequest& request) = 0;
+};
+
+}  // namespace ignem

@@ -1,0 +1,103 @@
+// NameNode: the file-system namespace and block map.
+//
+// Maps files to blocks and blocks to replica locations, tracks DataNode
+// liveness, and places replicas at file-creation time. The Ignem master is
+// hosted inside the NameNode process in the paper (§III-B); here it reads
+// the same maps through this class's const API.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "dfs/block.h"
+#include "dfs/datanode.h"
+
+namespace ignem {
+
+struct FileInfo {
+  FileId id;
+  std::string path;
+  Bytes size = 0;
+  std::vector<BlockId> blocks;
+};
+
+class NameNode {
+ public:
+  /// `replication` is the target replica count, capped by live node count.
+  /// With `rack_count` > 1, nodes are assigned round-robin to racks and
+  /// placement follows the HDFS default policy: first replica on a random
+  /// node, second on a different rack, third on the second's rack — so a
+  /// whole-rack failure never loses a 3-replicated block.
+  NameNode(Rng rng, int replication = 3, Bytes block_size = kDefaultBlockSize,
+           int rack_count = 1);
+
+  NameNode(const NameNode&) = delete;
+  NameNode& operator=(const NameNode&) = delete;
+
+  /// Registers a DataNode. Nodes must be registered before files exist.
+  void register_datanode(DataNode* node);
+
+  /// Creates a file of `size` bytes split into block-size chunks, placing
+  /// replicas on distinct live nodes, and registers the blocks with their
+  /// DataNodes. Paths must be unique.
+  FileId create_file(const std::string& path, Bytes size);
+
+  const FileInfo& file(FileId id) const;
+  FileId lookup(const std::string& path) const;  ///< invalid() if absent.
+  const BlockInfo& block(BlockId id) const;
+
+  /// Replica locations filtered to live nodes (paper §III-A5: dead servers
+  /// leave the namespace map).
+  std::vector<NodeId> live_locations(BlockId id) const;
+
+  DataNode* datanode(NodeId id) const;
+  std::vector<NodeId> live_nodes() const;
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Marks a whole server dead / alive again.
+  void set_node_alive(NodeId id, bool alive);
+
+  Bytes block_size() const { return block_size_; }
+  std::size_t file_count() const { return files_.size(); }
+  std::size_t block_count() const { return blocks_.size(); }
+
+  /// Total bytes across a set of files; used by job submitters to size
+  /// migration requests.
+  Bytes total_bytes(const std::vector<FileId>& files) const;
+
+  /// All blocks in the namespace (re-replication scans).
+  const std::unordered_map<BlockId, BlockInfo>& all_blocks() const {
+    return blocks_;
+  }
+
+  /// Registers a new replica of `block` on `node` (re-replication). The
+  /// node must be live and not already hold the block.
+  void add_replica(BlockId block, NodeId node);
+
+  /// Rack of a node (round-robin assignment).
+  int rack_of(NodeId node) const;
+  int rack_count() const { return rack_count_; }
+
+ private:
+  std::vector<NodeId> place_replicas(std::size_t count);
+
+  Rng rng_;
+  int replication_;
+  Bytes block_size_;
+  int rack_count_;
+
+  std::vector<DataNode*> nodes_;                  // index == NodeId value
+  std::unordered_set<NodeId> dead_nodes_;
+  std::unordered_map<FileId, FileInfo> files_;
+  std::unordered_map<std::string, FileId> paths_;
+  std::unordered_map<BlockId, BlockInfo> blocks_;
+  std::int64_t next_file_ = 0;
+  std::int64_t next_block_ = 0;
+};
+
+}  // namespace ignem

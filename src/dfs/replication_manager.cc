@@ -1,0 +1,87 @@
+#include "dfs/replication_manager.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ignem {
+
+ReplicationManager::ReplicationManager(Simulator& sim, NameNode& namenode,
+                                       Network& network, Rng rng,
+                                       int max_concurrent)
+    : sim_(sim),
+      namenode_(namenode),
+      network_(network),
+      rng_(rng),
+      max_concurrent_(max_concurrent) {
+  IGNEM_CHECK(max_concurrent >= 1);
+}
+
+void ReplicationManager::handle_node_failure(NodeId node,
+                                             int target_replication) {
+  namenode_.set_node_alive(node, false);
+  for (const auto& [block_id, info] : namenode_.all_blocks()) {
+    const bool held_here =
+        std::find(info.replicas.begin(), info.replicas.end(), node) !=
+        info.replicas.end();
+    if (!held_here) continue;
+    const auto live = namenode_.live_locations(block_id);
+    if (live.size() >= static_cast<std::size_t>(target_replication)) continue;
+    queue_.push_back(block_id);
+    ++stats_.blocks_scheduled;
+  }
+  pump();
+}
+
+void ReplicationManager::pump() {
+  while (in_flight_ < max_concurrent_ && !queue_.empty()) {
+    const BlockId block = queue_.front();
+    queue_.pop_front();
+    repair(block);
+  }
+}
+
+void ReplicationManager::repair(BlockId block) {
+  const auto sources = namenode_.live_locations(block);
+  if (sources.empty()) {
+    // Every replica is gone: data loss, nothing to copy from.
+    ++stats_.blocks_unrepairable;
+    pump();
+    return;
+  }
+  // Target: a live node that does not already hold the block, chosen
+  // uniformly for load spreading.
+  std::vector<NodeId> candidates;
+  for (const NodeId node : namenode_.live_nodes()) {
+    if (std::find(sources.begin(), sources.end(), node) == sources.end()) {
+      candidates.push_back(node);
+    }
+  }
+  if (candidates.empty()) {
+    ++stats_.blocks_unrepairable;
+    pump();
+    return;
+  }
+  const NodeId source = sources.front();
+  const NodeId target = candidates[static_cast<std::size_t>(rng_.uniform_int(
+      0, static_cast<std::int64_t>(candidates.size()) - 1))];
+  const Bytes bytes = namenode_.block(block).size;
+
+  ++in_flight_;
+  // Read from the surviving replica's disk, ship over the network, write on
+  // the target — the normal repair pipeline, contending with foreground IO.
+  namenode_.datanode(source)->read_block(
+      block, JobId::invalid(), [this, block, source, target, bytes](
+                                   const BlockReadResult&) {
+        network_.transfer(source, target, bytes, [this, block, target, bytes] {
+          namenode_.datanode(target)->write(bytes, [this, block, target] {
+            namenode_.add_replica(block, target);
+            ++stats_.blocks_repaired;
+            --in_flight_;
+            pump();
+          });
+        });
+      });
+}
+
+}  // namespace ignem

@@ -1,0 +1,60 @@
+// ReplicationManager: restores the replication factor after server failure.
+//
+// The paper's slave-failure handling (§III-A5) leans on HDFS semantics:
+// when a whole server fails, the file system removes it from the namespace
+// map and re-replicates the blocks it held. This component implements that
+// path: it scans for under-replicated blocks, then copies each from a
+// surviving replica to a fresh node over the network, throttled so repair
+// traffic does not swamp foreground reads.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "dfs/namenode.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace ignem {
+
+struct ReplicationStats {
+  std::uint64_t blocks_scheduled = 0;
+  std::uint64_t blocks_repaired = 0;
+  std::uint64_t blocks_unrepairable = 0;  ///< No live source or target.
+};
+
+class ReplicationManager {
+ public:
+  /// `max_concurrent` bounds cluster-wide in-flight repairs (HDFS throttles
+  /// re-replication for the same reason Ignem paces migration).
+  ReplicationManager(Simulator& sim, NameNode& namenode, Network& network,
+                     Rng rng, int max_concurrent = 2);
+
+  ReplicationManager(const ReplicationManager&) = delete;
+  ReplicationManager& operator=(const ReplicationManager&) = delete;
+
+  /// Marks the node dead and queues repairs for every block that dropped
+  /// below its target replication.
+  void handle_node_failure(NodeId node, int target_replication);
+
+  const ReplicationStats& stats() const { return stats_; }
+  std::size_t pending() const { return queue_.size(); }
+  int in_flight() const { return in_flight_; }
+
+ private:
+  void pump();
+  void repair(BlockId block);
+
+  Simulator& sim_;
+  NameNode& namenode_;
+  Network& network_;
+  Rng rng_;
+  int max_concurrent_;
+  int in_flight_ = 0;
+  std::deque<BlockId> queue_;
+  ReplicationStats stats_;
+};
+
+}  // namespace ignem

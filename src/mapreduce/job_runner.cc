@@ -1,0 +1,210 @@
+#include "mapreduce/job_runner.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.h"
+
+namespace ignem {
+
+JobRunner::JobRunner(Simulator& sim, ResourceManager& rm, DfsClient& dfs,
+                     Network& network, RunMetrics* metrics, JobId id,
+                     JobSpec spec)
+    : sim_(sim),
+      rm_(rm),
+      dfs_(dfs),
+      network_(network),
+      metrics_(metrics),
+      id_(id),
+      spec_(std::move(spec)) {
+  IGNEM_CHECK(id_.valid());
+  IGNEM_CHECK_MSG(!spec_.inputs.empty(), "job needs at least one input file");
+  for (const FileId file : spec_.inputs) {
+    for (const BlockId block : dfs_.namenode().file(file).blocks) {
+      const Bytes bytes = dfs_.namenode().block(block).size;
+      maps_.push_back(MapTask{TaskId(next_task_++), block, bytes});
+      input_bytes_ += bytes;
+    }
+  }
+  shuffle_bytes_ = static_cast<Bytes>(static_cast<double>(input_bytes_) *
+                                      spec_.compute.map_output_ratio);
+  output_bytes_ = static_cast<Bytes>(static_cast<double>(input_bytes_) *
+                                     spec_.compute.output_ratio);
+  reduce_count_ = spec_.compute.reduce_tasks;
+}
+
+void JobRunner::submit(CompletionCallback on_complete) {
+  IGNEM_CHECK(on_complete != nullptr);
+  on_complete_ = std::move(on_complete);
+  submit_time_ = sim_.now();
+
+  // The job submitter runs first (§III-B3): issue the migrate call before
+  // anything else so the slaves get the maximum lead-time.
+  if (spec_.use_ignem) {
+    MigrationRequest request;
+    request.op = MigrationOp::kMigrate;
+    request.eviction = spec_.eviction;
+    request.job = id_;
+    request.job_input_bytes = input_bytes_;
+    request.files = spec_.inputs;
+    dfs_.migrate(request);
+  }
+  // Injected lead-time (Fig. 8 "Ignem+10s") sleeps *after* the migrate call
+  // but before submission, and is counted in the job's duration.
+  sim_.schedule(spec_.extra_lead_time + spec_.submit_overhead,
+                [this] { enter_scheduler(); });
+}
+
+void JobRunner::enter_scheduler() {
+  rm_.register_job(id_);
+  for (std::size_t i = 0; i < maps_.size(); ++i) {
+    ContainerRequest request;
+    request.job = id_;
+    request.preferred = dfs_.preferred_locations(maps_[i].block);
+    request.on_allocated = [this, i](NodeId node) { launch_map(i, node); };
+    rm_.request_container(std::move(request));
+  }
+}
+
+void JobRunner::launch_map(std::size_t index, NodeId node) {
+  const SimTime start = sim_.now();
+  first_task_start_ = std::min(first_task_start_, start);
+
+  sim_.schedule(spec_.compute.task_overhead, [this, index, node, start] {
+    const MapTask& task = maps_[index];
+    dfs_.read_block(
+        node, task.block, id_,
+        [this, index, node, start](const BlockReadRecord& read) {
+          const MapTask& task = maps_[index];
+          const double mib_in =
+              static_cast<double>(task.bytes) / static_cast<double>(kMiB);
+          const Duration compute =
+              Duration::seconds(spec_.compute.map_cpu_secs_per_mib * mib_in);
+          sim_.schedule(compute, [this, index, node, start, read] {
+            const MapTask& task = maps_[index];
+            if (metrics_ != nullptr) {
+              TaskRecord record;
+              record.task = task.id;
+              record.job = id_;
+              record.node = node;
+              record.kind = TaskKind::kMap;
+              record.input_bytes = task.bytes;
+              record.launch = start;
+              record.duration = sim_.now() - start;
+              record.read_time = read.duration;
+              metrics_->add_task(record);
+            }
+            rm_.release_container(node);
+            on_map_done();
+          });
+        });
+  });
+}
+
+void JobRunner::on_map_done() {
+  ++maps_done_;
+  if (maps_done_ == maps_.size()) start_reduce_stage();
+}
+
+void JobRunner::start_reduce_stage() {
+  if (reduce_count_ <= 0 || shuffle_bytes_ <= 0) {
+    finish_job();
+    return;
+  }
+  for (int i = 0; i < reduce_count_; ++i) {
+    ContainerRequest request;
+    request.job = id_;
+    request.on_allocated = [this](NodeId node) { launch_reduce(node); };
+    rm_.request_container(std::move(request));
+  }
+}
+
+void JobRunner::launch_reduce(NodeId node) {
+  const SimTime start = sim_.now();
+  const Bytes shuffle_share = shuffle_bytes_ / reduce_count_;
+  const Bytes output_share = output_bytes_ / reduce_count_;
+  const TaskId task_id(next_task_++);
+
+  sim_.schedule(spec_.compute.task_overhead, [this, node, start, shuffle_share,
+                                              output_share, task_id] {
+    // Shuffle: fan-in through the reducer's NIC. Map outputs sit in the
+    // senders' page caches, so the network is the chokepoint.
+    network_.ingress_transfer(node, shuffle_share, [this, node, start,
+                                                    shuffle_share, output_share,
+                                                    task_id] {
+      const double mib =
+          static_cast<double>(shuffle_share) / static_cast<double>(kMiB);
+      const Duration compute =
+          Duration::seconds(spec_.compute.reduce_cpu_secs_per_mib * mib);
+      // Merge compute and the output write overlap: reducers stream merged
+      // output to the DFS as they go. The write still rides the local
+      // device channel, so write-heavy jobs (sort) contend with reads.
+      auto barrier = std::make_shared<int>(2);
+      auto arm = [this, node, start, shuffle_share, task_id, barrier] {
+        if (--*barrier > 0) return;
+        if (metrics_ != nullptr) {
+          TaskRecord record;
+          record.task = task_id;
+          record.job = id_;
+          record.node = node;
+          record.kind = TaskKind::kReduce;
+          record.input_bytes = shuffle_share;
+          record.launch = start;
+          record.duration = sim_.now() - start;
+          record.read_time = Duration::zero();
+          metrics_->add_task(record);
+        }
+        rm_.release_container(node);
+        on_reduce_done();
+      };
+      sim_.schedule(compute, arm);
+      if (output_share > 0) {
+        dfs_.namenode().datanode(node)->write(output_share, arm);
+      } else {
+        arm();
+      }
+    });
+  });
+}
+
+void JobRunner::on_reduce_done() {
+  ++reduces_done_;
+  if (reduces_done_ == static_cast<std::size_t>(reduce_count_)) finish_job();
+}
+
+void JobRunner::finish_job() {
+  // Output commit + teardown before the job is reported complete.
+  sim_.schedule(spec_.commit_overhead, [this] { complete(); });
+}
+
+void JobRunner::complete() {
+  IGNEM_CHECK(!finished_);
+  finished_ = true;
+  rm_.complete_job(id_);
+
+  // The job submitter's completion hook: drop this job's references so the
+  // slaves can release migration memory (§III-A4).
+  if (spec_.use_ignem) {
+    MigrationRequest request;
+    request.op = MigrationOp::kEvict;
+    request.eviction = spec_.eviction;
+    request.job = id_;
+    request.job_input_bytes = input_bytes_;
+    request.files = spec_.inputs;
+    dfs_.migrate(request);
+  }
+
+  JobRecord record;
+  record.job = id_;
+  record.name = spec_.name;
+  record.input_bytes = input_bytes_;
+  record.submit = submit_time_;
+  record.first_task_start =
+      first_task_start_ == SimTime::max() ? submit_time_ : first_task_start_;
+  record.end = sim_.now();
+  record.duration = record.end - record.submit;
+  if (metrics_ != nullptr) metrics_->add_job(record);
+  on_complete_(record);
+}
+
+}  // namespace ignem

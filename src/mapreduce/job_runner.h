@@ -1,0 +1,82 @@
+// JobRunner: the per-job application master.
+//
+// Drives one MapReduce job end-to-end: the job-submitter step (where the
+// one-line Ignem migrate call lives, §III-B3), container acquisition via the
+// ResourceManager, map tasks that read input blocks through the DfsClient,
+// the shuffle, reduce tasks that write job output, and the final evict call.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "cluster/resource_manager.h"
+#include "common/ids.h"
+#include "dfs/dfs_client.h"
+#include "mapreduce/job_spec.h"
+#include "metrics/run_metrics.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace ignem {
+
+class JobRunner {
+ public:
+  using CompletionCallback = std::function<void(const JobRecord&)>;
+
+  JobRunner(Simulator& sim, ResourceManager& rm, DfsClient& dfs,
+            Network& network, RunMetrics* metrics, JobId id, JobSpec spec);
+
+  JobRunner(const JobRunner&) = delete;
+  JobRunner& operator=(const JobRunner&) = delete;
+
+  /// Starts the job-submitter: migrate call (if enabled), optional injected
+  /// lead-time, submission overhead, then scheduling. `on_complete` fires
+  /// once with the job's record. The runner must outlive the job.
+  void submit(CompletionCallback on_complete);
+
+  JobId id() const { return id_; }
+  const JobSpec& spec() const { return spec_; }
+  bool finished() const { return finished_; }
+  Bytes input_bytes() const { return input_bytes_; }
+
+ private:
+  struct MapTask {
+    TaskId id;
+    BlockId block;
+    Bytes bytes = 0;
+  };
+
+  void enter_scheduler();
+  void launch_map(std::size_t index, NodeId node);
+  void on_map_done();
+  void start_reduce_stage();
+  void launch_reduce(NodeId node);
+  void on_reduce_done();
+  void finish_job();
+  void complete();
+
+  Simulator& sim_;
+  ResourceManager& rm_;
+  DfsClient& dfs_;
+  Network& network_;
+  RunMetrics* metrics_;
+  JobId id_;
+  JobSpec spec_;
+  CompletionCallback on_complete_;
+
+  std::vector<MapTask> maps_;
+  Bytes input_bytes_ = 0;
+  Bytes shuffle_bytes_ = 0;
+  Bytes output_bytes_ = 0;
+
+  SimTime submit_time_;
+  SimTime first_task_start_ = SimTime::max();
+  std::size_t maps_done_ = 0;
+  std::size_t reduces_done_ = 0;
+  int reduce_count_ = 0;
+  bool finished_ = false;
+  std::int64_t next_task_ = 0;
+};
+
+}  // namespace ignem

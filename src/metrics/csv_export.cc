@@ -1,0 +1,47 @@
+#include "metrics/csv_export.h"
+
+namespace ignem {
+
+namespace {
+// CSV needs full precision but no locale surprises; values here are simple
+// numerics so operator<< suffices.
+const char* bool_str(bool b) { return b ? "1" : "0"; }
+}  // namespace
+
+void write_block_reads_csv(const RunMetrics& metrics, std::ostream& os) {
+  os << "block,job,reader,bytes,start_s,duration_s,from_memory,remote\n";
+  for (const auto& r : metrics.block_reads()) {
+    os << r.block << ',' << r.job << ',' << r.reader << ',' << r.bytes << ','
+       << r.start.to_seconds() << ',' << r.duration.to_seconds() << ','
+       << bool_str(r.from_memory) << ',' << bool_str(r.remote) << '\n';
+  }
+}
+
+void write_tasks_csv(const RunMetrics& metrics, std::ostream& os) {
+  os << "task,job,node,kind,input_bytes,launch_s,duration_s,read_s\n";
+  for (const auto& t : metrics.tasks()) {
+    os << t.task << ',' << t.job << ',' << t.node << ','
+       << (t.kind == TaskKind::kMap ? "map" : "reduce") << ','
+       << t.input_bytes << ',' << t.launch.to_seconds() << ','
+       << t.duration.to_seconds() << ',' << t.read_time.to_seconds() << '\n';
+  }
+}
+
+void write_jobs_csv(const RunMetrics& metrics, std::ostream& os) {
+  os << "job,name,input_bytes,submit_s,first_task_s,end_s,duration_s\n";
+  for (const auto& j : metrics.jobs()) {
+    os << j.job << ',' << j.name << ',' << j.input_bytes << ','
+       << j.submit.to_seconds() << ',' << j.first_task_start.to_seconds()
+       << ',' << j.end.to_seconds() << ',' << j.duration.to_seconds() << '\n';
+  }
+}
+
+void write_memory_samples_csv(const RunMetrics& metrics, std::ostream& os) {
+  os << "node,when_s,locked_bytes\n";
+  for (const auto& s : metrics.memory_samples()) {
+    os << s.node << ',' << s.when.to_seconds() << ',' << s.locked_bytes
+       << '\n';
+  }
+}
+
+}  // namespace ignem

@@ -1,0 +1,22 @@
+// CSV export of run metrics, for external plotting/analysis of bench runs.
+#pragma once
+
+#include <ostream>
+
+#include "metrics/run_metrics.h"
+
+namespace ignem {
+
+/// block,job,reader,bytes,start_s,duration_s,from_memory,remote
+void write_block_reads_csv(const RunMetrics& metrics, std::ostream& os);
+
+/// task,job,node,kind,input_bytes,launch_s,duration_s,read_s
+void write_tasks_csv(const RunMetrics& metrics, std::ostream& os);
+
+/// job,name,input_bytes,submit_s,first_task_s,end_s,duration_s
+void write_jobs_csv(const RunMetrics& metrics, std::ostream& os);
+
+/// node,when_s,locked_bytes
+void write_memory_samples_csv(const RunMetrics& metrics, std::ostream& os);
+
+}  // namespace ignem

@@ -1,0 +1,55 @@
+#include "metrics/run_metrics.h"
+
+namespace ignem {
+
+Samples RunMetrics::job_durations_seconds() const {
+  Samples s;
+  s.reserve(jobs_.size());
+  for (const auto& j : jobs_) s.add(j.duration.to_seconds());
+  return s;
+}
+
+Samples RunMetrics::task_durations_seconds(TaskKind kind) const {
+  Samples s;
+  for (const auto& t : tasks_) {
+    if (t.kind == kind) s.add(t.duration.to_seconds());
+  }
+  return s;
+}
+
+Samples RunMetrics::block_read_seconds() const {
+  Samples s;
+  s.reserve(block_reads_.size());
+  for (const auto& r : block_reads_) s.add(r.duration.to_seconds());
+  return s;
+}
+
+double RunMetrics::mean_job_duration_seconds() const {
+  return job_durations_seconds().mean();
+}
+
+double RunMetrics::mean_map_task_seconds() const {
+  return task_durations_seconds(TaskKind::kMap).mean();
+}
+
+double RunMetrics::mean_block_read_seconds() const {
+  return block_read_seconds().mean();
+}
+
+double RunMetrics::memory_read_fraction() const {
+  if (block_reads_.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const auto& r : block_reads_) {
+    if (r.from_memory) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(block_reads_.size());
+}
+
+void RunMetrics::clear() {
+  block_reads_.clear();
+  tasks_.clear();
+  jobs_.clear();
+  memory_samples_.clear();
+}
+
+}  // namespace ignem

@@ -1,0 +1,26 @@
+// Plain-text table renderer for bench output, mirroring the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ignem {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Right-pads every column to its widest cell.
+  std::string render() const;
+
+  static std::string fixed(double v, int precision = 2);
+  static std::string percent(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ignem

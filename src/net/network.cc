@@ -1,0 +1,55 @@
+#include "net/network.h"
+
+#include <string>
+
+namespace ignem {
+
+Network::Network(Simulator& sim, std::size_t node_count, NetworkProfile profile)
+    : sim_(sim), profile_(profile) {
+  IGNEM_CHECK(node_count > 0);
+  BandwidthProfile bw;
+  bw.sequential_bw = profile.nic_bw;
+  bw.degradation = 0.0;
+  bw.per_stream_cap = profile.per_flow_cap;
+  nics_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    nics_.push_back(std::make_unique<SharedBandwidthResource>(
+        sim, "nic/" + std::to_string(i), bw));
+  }
+}
+
+SharedBandwidthResource& Network::nic(NodeId node) {
+  IGNEM_CHECK(node.valid() &&
+              static_cast<std::size_t>(node.value()) < nics_.size());
+  return *nics_[static_cast<std::size_t>(node.value())];
+}
+
+void Network::transfer(NodeId src, NodeId dst, Bytes bytes,
+                       Callback on_complete) {
+  IGNEM_CHECK(bytes >= 0);
+  if (src == dst) {
+    // Intra-node handoff: no NIC involved.
+    sim_.schedule(Duration::micros(10), std::move(on_complete));
+    return;
+  }
+  sim_.schedule(profile_.rtt, [this, src, bytes,
+                               cb = std::move(on_complete)]() mutable {
+    nic(src).start(bytes, std::move(cb));
+  });
+}
+
+void Network::ingress_transfer(NodeId dst, Bytes bytes, Callback on_complete) {
+  IGNEM_CHECK(bytes >= 0);
+  sim_.schedule(profile_.rtt, [this, dst, bytes,
+                               cb = std::move(on_complete)]() mutable {
+    nic(dst).start(bytes, std::move(cb));
+  });
+}
+
+Bytes Network::total_bytes_sent(NodeId node) const {
+  IGNEM_CHECK(node.valid() &&
+              static_cast<std::size_t>(node.value()) < nics_.size());
+  return nics_[static_cast<std::size_t>(node.value())]->total_bytes_completed();
+}
+
+}  // namespace ignem

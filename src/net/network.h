@@ -1,0 +1,57 @@
+// Cluster network fabric.
+//
+// Each node has a NIC modeled as a shared-bandwidth channel; a remote
+// transfer pays one propagation delay and shares the *source* NIC's egress
+// bandwidth. The paper's premise (§III-A2, citing Flat Datacenter Storage)
+// is that datacenter network bandwidth is not a bottleneck — a 10 Gbps NIC
+// far outruns a contended HDD — so an egress-limited single-resource model
+// preserves the relevant behaviour: remote reads of migrated blocks are
+// nearly as fast as local ones.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "common/units.h"
+#include "storage/bandwidth_resource.h"
+
+namespace ignem {
+
+struct NetworkProfile {
+  Bandwidth nic_bw = gib_per_sec(1.25);  ///< 10 Gbps.
+  Bandwidth per_flow_cap = gib_per_sec(1.25);
+  Duration rtt = Duration::micros(200);
+};
+
+class Network {
+ public:
+  using Callback = std::function<void()>;
+
+  Network(Simulator& sim, std::size_t node_count, NetworkProfile profile);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Moves `bytes` from `src` to `dst`. Local (src == dst) transfers bypass
+  /// the NIC and complete after a single memcpy-scale delay.
+  void transfer(NodeId src, NodeId dst, Bytes bytes, Callback on_complete);
+
+  /// A fan-in transfer (e.g. shuffle) limited by the *destination* NIC:
+  /// data arrives from many senders at once, so the receiver is the shared
+  /// chokepoint.
+  void ingress_transfer(NodeId dst, Bytes bytes, Callback on_complete);
+
+  std::size_t node_count() const { return nics_.size(); }
+  Bytes total_bytes_sent(NodeId node) const;
+
+ private:
+  SharedBandwidthResource& nic(NodeId node);
+
+  Simulator& sim_;
+  NetworkProfile profile_;
+  std::vector<std::unique_ptr<SharedBandwidthResource>> nics_;
+};
+
+}  // namespace ignem

@@ -1,0 +1,41 @@
+#include "sim/event_queue.h"
+
+#include "common/check.h"
+
+namespace ignem {
+
+EventHandle EventQueue::push(SimTime when, Action action) {
+  IGNEM_CHECK(action != nullptr);
+  const EventHandle handle(next_seq_++);
+  heap_.push(Entry{when, handle.seq(), std::move(action)});
+  live_.insert(handle.seq());
+  return handle;
+}
+
+bool EventQueue::cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  return live_.erase(handle.seq()) > 0;
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty() && !live_.contains(heap_.top().seq)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() {
+  drop_cancelled();
+  IGNEM_CHECK(!heap_.empty());
+  return heap_.top().when;
+}
+
+std::pair<SimTime, EventQueue::Action> EventQueue::pop() {
+  drop_cancelled();
+  IGNEM_CHECK(!heap_.empty());
+  Entry top = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  live_.erase(top.seq);
+  return {top.when, std::move(top.action)};
+}
+
+}  // namespace ignem

@@ -1,0 +1,82 @@
+// Pending-event set for the discrete-event simulator.
+//
+// A binary min-heap keyed by (time, sequence). The sequence number makes
+// ordering of simultaneous events deterministic (FIFO within a timestamp)
+// and gives every scheduled event a stable handle for cancellation.
+// Cancellation is lazy: cancelled entries stay in the heap and are skipped
+// on pop, which keeps cancel O(1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+
+namespace ignem {
+
+/// Opaque handle identifying a scheduled event; usable to cancel it.
+class EventHandle {
+ public:
+  constexpr EventHandle() = default;
+  constexpr explicit EventHandle(std::uint64_t seq) : seq_(seq) {}
+
+  static constexpr EventHandle invalid() { return EventHandle(); }
+
+  constexpr bool valid() const { return seq_ != 0; }
+  constexpr std::uint64_t seq() const { return seq_; }
+
+  constexpr auto operator<=>(const EventHandle&) const = default;
+
+ private:
+  std::uint64_t seq_ = 0;  // 0 is reserved for "invalid".
+};
+
+/// Min-heap of (time, seq, action). Not thread-safe; the simulator is
+/// single-threaded by design (see Simulator).
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Adds an event; returns a handle to cancel it later.
+  EventHandle push(SimTime when, Action action);
+
+  /// Marks a pending event as cancelled. Returns false if the handle was
+  /// already fired, already cancelled, or never issued.
+  bool cancel(EventHandle handle);
+
+  /// True when no live (non-cancelled) events remain.
+  bool empty() const { return live_.empty(); }
+
+  std::size_t live_count() const { return live_.size(); }
+
+  /// Time of the earliest live event. Requires !empty().
+  SimTime next_time();
+
+  /// Removes and returns the earliest live event. Requires !empty().
+  std::pair<SimTime, Action> pop();
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> live_;  // seqs pushed and not yet fired/cancelled
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace ignem

@@ -1,0 +1,44 @@
+#include "sim/simulator.h"
+
+#include "common/check.h"
+
+namespace ignem {
+
+EventHandle Simulator::schedule(Duration delay, Action action) {
+  IGNEM_CHECK(delay >= Duration::zero());
+  return queue_.push(now_ + delay, std::move(action));
+}
+
+EventHandle Simulator::schedule_at(SimTime when, Action action) {
+  IGNEM_CHECK_MSG(when >= now_, "cannot schedule in the past: when="
+                                    << when.to_string()
+                                    << " now=" << now_.to_string());
+  return queue_.push(when, std::move(action));
+}
+
+bool Simulator::cancel(EventHandle handle) { return queue_.cancel(handle); }
+
+std::uint64_t Simulator::run(SimTime until) {
+  return run_until([] { return false; }, until);
+}
+
+std::uint64_t Simulator::run_until(const std::function<bool()>& done,
+                                   SimTime limit) {
+  stop_requested_ = false;
+  std::uint64_t n = 0;
+  while (!queue_.empty() && !stop_requested_ && !done()) {
+    if (queue_.next_time() > limit) break;
+    auto [when, action] = queue_.pop();
+    IGNEM_CHECK(when >= now_);
+    now_ = when;
+    action();
+    ++n;
+    ++dispatched_;
+  }
+  if (queue_.empty() && now_ < limit && limit != SimTime::max()) {
+    now_ = limit;  // advance the clock to the requested horizon
+  }
+  return n;
+}
+
+}  // namespace ignem

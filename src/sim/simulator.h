@@ -1,0 +1,67 @@
+// The discrete-event simulation kernel.
+//
+// A Simulator owns the clock and the event queue. Components schedule
+// callbacks at relative delays or absolute times; run() dispatches events in
+// (time, insertion) order until the queue drains, a time limit is hit, or
+// stop() is called. Single-threaded: determinism matters more than
+// parallelism at the scales we simulate (an 8–40 node cluster over minutes
+// of simulated time runs in well under a second of wall time).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/units.h"
+#include "sim/event_queue.h"
+
+namespace ignem {
+
+class Simulator {
+ public:
+  using Action = EventQueue::Action;
+
+  Simulator() = default;
+
+  // The event queue holds callbacks that capture `this` of components that
+  // in turn reference the simulator; copying/moving would dangle them.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `action` to run `delay` from now. Delay must be >= 0.
+  EventHandle schedule(Duration delay, Action action);
+
+  /// Schedules `action` at an absolute time >= now().
+  EventHandle schedule_at(SimTime when, Action action);
+
+  /// Cancels a previously scheduled event; false if it already fired.
+  bool cancel(EventHandle handle);
+
+  /// Runs until the queue drains or `until` is reached (events at exactly
+  /// `until` are executed). Returns the number of events dispatched.
+  std::uint64_t run(SimTime until = SimTime::max());
+
+  /// Runs until the queue drains, a limit is reached, or the predicate
+  /// returns true (checked after each event).
+  std::uint64_t run_until(const std::function<bool()>& done,
+                          SimTime limit = SimTime::max());
+
+  /// Requests run() to return after the current event completes.
+  void stop() { stop_requested_ = true; }
+
+  /// Number of events dispatched since construction.
+  std::uint64_t events_dispatched() const { return dispatched_; }
+
+  /// Live events currently pending.
+  std::size_t pending_events() const { return queue_.live_count(); }
+
+ private:
+  SimTime now_ = SimTime::zero();
+  EventQueue queue_;
+  bool stop_requested_ = false;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace ignem

@@ -1,0 +1,123 @@
+#include "storage/bandwidth_resource.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ignem {
+
+namespace {
+// Transfers within this many bytes of zero are considered drained; guards
+// against floating-point residue after settling.
+constexpr double kEpsilonBytes = 1e-3;
+}  // namespace
+
+SharedBandwidthResource::SharedBandwidthResource(Simulator& sim,
+                                                 std::string name,
+                                                 BandwidthProfile profile)
+    : sim_(sim), name_(std::move(name)), profile_(profile) {
+  IGNEM_CHECK(profile_.sequential_bw > 0);
+  IGNEM_CHECK(profile_.degradation >= 0);
+  IGNEM_CHECK(profile_.per_stream_cap > 0);
+  last_update_ = sim_.now();
+}
+
+Bandwidth SharedBandwidthResource::per_stream_rate(std::size_t n) const {
+  if (n == 0) return 0;
+  const double aggregate =
+      profile_.sequential_bw /
+      (1.0 + profile_.degradation * static_cast<double>(n - 1));
+  return std::min(aggregate / static_cast<double>(n), profile_.per_stream_cap);
+}
+
+Bandwidth SharedBandwidthResource::current_per_stream_rate() const {
+  return per_stream_rate(transfers_.size());
+}
+
+TransferHandle SharedBandwidthResource::start(Bytes bytes,
+                                              Callback on_complete) {
+  IGNEM_CHECK(bytes >= 0);
+  IGNEM_CHECK(on_complete != nullptr);
+  settle();
+  if (transfers_.empty()) busy_since_ = sim_.now();
+  const TransferHandle handle(next_id_++);
+  transfers_.emplace(
+      handle.id(),
+      Transfer{static_cast<double>(bytes), bytes, std::move(on_complete)});
+  reschedule();
+  return handle;
+}
+
+bool SharedBandwidthResource::abort(TransferHandle handle) {
+  if (!handle.valid()) return false;
+  const auto it = transfers_.find(handle.id());
+  if (it == transfers_.end()) return false;
+  settle();
+  transfers_.erase(it);
+  if (transfers_.empty()) busy_accum_ += sim_.now() - busy_since_;
+  reschedule();
+  return true;
+}
+
+void SharedBandwidthResource::settle() {
+  const Duration elapsed = sim_.now() - last_update_;
+  last_update_ = sim_.now();
+  if (elapsed <= Duration::zero() || transfers_.empty()) return;
+  const Bandwidth rate = per_stream_rate(transfers_.size());
+  const double progressed = rate * elapsed.to_seconds();
+  for (auto& [id, t] : transfers_) {
+    t.remaining_bytes = std::max(0.0, t.remaining_bytes - progressed);
+  }
+}
+
+void SharedBandwidthResource::reschedule() {
+  if (pending_event_.valid()) {
+    sim_.cancel(pending_event_);
+    pending_event_ = EventHandle::invalid();
+  }
+  if (transfers_.empty()) return;
+  const Bandwidth rate = per_stream_rate(transfers_.size());
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const auto& [id, t] : transfers_) {
+    min_remaining = std::min(min_remaining, t.remaining_bytes);
+  }
+  Duration eta = Duration::micros(1);
+  if (min_remaining > kEpsilonBytes) {
+    const double seconds = min_remaining / rate;
+    eta = Duration::micros(
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(std::ceil(seconds * 1e6))));
+  }
+  pending_event_ = sim_.schedule(eta, [this] { on_completion_event(); });
+}
+
+void SharedBandwidthResource::on_completion_event() {
+  pending_event_ = EventHandle::invalid();
+  settle();
+  // Collect all drained transfers before invoking callbacks: a callback may
+  // start new transfers on this same resource.
+  std::vector<Callback> done;
+  for (auto it = transfers_.begin(); it != transfers_.end();) {
+    if (it->second.remaining_bytes <= kEpsilonBytes) {
+      bytes_completed_ += it->second.total_bytes;
+      done.push_back(std::move(it->second.on_complete));
+      it = transfers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (transfers_.empty() && !done.empty()) {
+    busy_accum_ += sim_.now() - busy_since_;
+  }
+  reschedule();
+  for (auto& cb : done) {
+    cb();
+  }
+}
+
+Duration SharedBandwidthResource::busy_time() const {
+  Duration d = busy_accum_;
+  if (!transfers_.empty()) d += sim_.now() - busy_since_;
+  return d;
+}
+
+}  // namespace ignem

@@ -1,0 +1,115 @@
+// Processor-sharing bandwidth model.
+//
+// A SharedBandwidthResource represents one channel (a disk, an SSD, a DRAM
+// controller, a NIC) whose active transfers share bandwidth fairly. The
+// aggregate bandwidth can degrade with the number of concurrent streams —
+// the dominant effect on spinning disks, where interleaved streams force
+// seeks:
+//
+//     aggregate(n) = seq_bw / (1 + degradation * (n - 1))
+//     per_stream(n) = min(aggregate(n) / n, per_stream_cap)
+//
+// Whenever the set of active transfers changes, progress is settled at the
+// old rates and a completion event is scheduled at the earliest finishing
+// transfer. This reproduces, mechanistically, the paper's Fig. 1 contention
+// collapse and the payoff of Ignem's one-migration-at-a-time rule (§IV-F).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace ignem {
+
+/// Identifies one in-flight transfer on a resource.
+class TransferHandle {
+ public:
+  constexpr TransferHandle() = default;
+  constexpr explicit TransferHandle(std::uint64_t id) : id_(id) {}
+  static constexpr TransferHandle invalid() { return TransferHandle(); }
+  constexpr bool valid() const { return id_ != 0; }
+  constexpr std::uint64_t id() const { return id_; }
+  constexpr auto operator<=>(const TransferHandle&) const = default;
+
+ private:
+  std::uint64_t id_ = 0;
+};
+
+/// Static description of a bandwidth channel.
+struct BandwidthProfile {
+  Bandwidth sequential_bw = 0;  ///< Aggregate bandwidth with one stream.
+  double degradation = 0;       ///< Aggregate loss per extra stream (HDD ~0.4).
+  Bandwidth per_stream_cap =
+      std::numeric_limits<double>::infinity();  ///< e.g. one DMA engine's limit.
+};
+
+class SharedBandwidthResource {
+ public:
+  using Callback = std::function<void()>;
+
+  SharedBandwidthResource(Simulator& sim, std::string name,
+                          BandwidthProfile profile);
+
+  SharedBandwidthResource(const SharedBandwidthResource&) = delete;
+  SharedBandwidthResource& operator=(const SharedBandwidthResource&) = delete;
+
+  /// Begins a transfer of `bytes`; `on_complete` fires when it finishes.
+  /// Zero-byte transfers complete on the next event dispatch.
+  TransferHandle start(Bytes bytes, Callback on_complete);
+
+  /// Aborts an in-flight transfer; its callback never fires. Returns false
+  /// if the transfer already completed or was never started.
+  bool abort(TransferHandle handle);
+
+  std::size_t active_transfers() const { return transfers_.size(); }
+
+  /// Current per-stream rate, given the active transfer count.
+  Bandwidth current_per_stream_rate() const;
+
+  /// Lifetime totals, for utilization accounting.
+  Bytes total_bytes_completed() const { return bytes_completed_; }
+  Duration busy_time() const;
+
+  const std::string& name() const { return name_; }
+  const BandwidthProfile& profile() const { return profile_; }
+
+ private:
+  struct Transfer {
+    double remaining_bytes;
+    Bytes total_bytes;
+    Callback on_complete;
+  };
+
+  /// Applies progress at the current rates from last_update_ to now.
+  void settle();
+
+  /// Re-derives rates and (re)schedules the next completion event.
+  void reschedule();
+
+  /// Fires when the earliest transfer should have drained.
+  void on_completion_event();
+
+  Bandwidth per_stream_rate(std::size_t n) const;
+
+  Simulator& sim_;
+  std::string name_;
+  BandwidthProfile profile_;
+
+  std::map<std::uint64_t, Transfer> transfers_;  // ordered => deterministic
+  std::uint64_t next_id_ = 1;
+  SimTime last_update_ = SimTime::zero();
+  EventHandle pending_event_ = EventHandle::invalid();
+
+  Bytes bytes_completed_ = 0;
+  // Busy-time accounting: accumulated whenever >=1 transfer is active.
+  Duration busy_accum_ = Duration::zero();
+  SimTime busy_since_ = SimTime::zero();
+};
+
+}  // namespace ignem

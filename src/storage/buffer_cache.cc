@@ -1,0 +1,64 @@
+#include "storage/buffer_cache.h"
+
+#include <algorithm>
+
+namespace ignem {
+
+BufferCache::BufferCache(Bytes capacity) : capacity_(capacity) {
+  IGNEM_CHECK(capacity >= 0);
+}
+
+void BufferCache::track_peak() {
+  peak_used_ = std::max(peak_used_, used_ + reserved_);
+}
+
+bool BufferCache::lock(BlockId block, Bytes bytes) {
+  IGNEM_CHECK(block.valid());
+  IGNEM_CHECK(bytes >= 0);
+  if (entries_.contains(block)) return true;
+  if (used_ + reserved_ + bytes > capacity_) return false;
+  entries_.emplace(block, bytes);
+  used_ += bytes;
+  track_peak();
+  return true;
+}
+
+bool BufferCache::reserve(Bytes bytes) {
+  IGNEM_CHECK(bytes >= 0);
+  if (used_ + reserved_ + bytes > capacity_) return false;
+  reserved_ += bytes;
+  track_peak();
+  return true;
+}
+
+void BufferCache::commit_reservation(BlockId block, Bytes bytes) {
+  IGNEM_CHECK(block.valid());
+  IGNEM_CHECK_MSG(reserved_ >= bytes, "committing more than reserved");
+  IGNEM_CHECK_MSG(!entries_.contains(block),
+                  "block " << block.value() << " already locked");
+  reserved_ -= bytes;
+  entries_.emplace(block, bytes);
+  used_ += bytes;
+}
+
+void BufferCache::cancel_reservation(Bytes bytes) {
+  IGNEM_CHECK_MSG(reserved_ >= bytes, "cancelling more than reserved");
+  reserved_ -= bytes;
+}
+
+bool BufferCache::unlock(BlockId block) {
+  const auto it = entries_.find(block);
+  if (it == entries_.end()) return false;
+  used_ -= it->second;
+  IGNEM_CHECK(used_ >= 0);
+  entries_.erase(it);
+  return true;
+}
+
+void BufferCache::clear() {
+  entries_.clear();
+  used_ = 0;
+  reserved_ = 0;
+}
+
+}  // namespace ignem

@@ -1,0 +1,63 @@
+// Locked-page pool: the destination of Ignem migrations.
+//
+// Models the OS buffer cache with mmap+mlock semantics used by the Ignem
+// slave (§III-B1): a block locked into the pool is served to any reader on
+// the node at RAM speed until explicitly unlocked. Capacity is the
+// configurable migration-memory threshold (§III-B2). There is no implicit
+// eviction — the Do-not-harm rule forbids it; callers decide what to unlock.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace ignem {
+
+class BufferCache {
+ public:
+  explicit BufferCache(Bytes capacity);
+
+  /// Locks `bytes` of a block into the pool. Returns false (no state change)
+  /// if the block would overflow capacity. Locking an already-locked block
+  /// is a no-op returning true.
+  bool lock(BlockId block, Bytes bytes);
+
+  /// Reserves capacity for an in-flight migration without making the block
+  /// visible to readers (the data is not in memory yet). Pair with
+  /// commit_reservation() or cancel_reservation().
+  bool reserve(Bytes bytes);
+
+  /// Converts a prior reservation into a visible locked block.
+  void commit_reservation(BlockId block, Bytes bytes);
+
+  /// Returns reserved capacity to the pool (aborted migration).
+  void cancel_reservation(Bytes bytes);
+
+  /// Unlocks a block, freeing its bytes. Returns false if not present.
+  bool unlock(BlockId block);
+
+  /// Drops everything (slave restart: the OS reclaims the process's locks).
+  void clear();
+
+  bool contains(BlockId block) const { return entries_.contains(block); }
+  Bytes used() const { return used_ + reserved_; }
+  Bytes locked() const { return used_; }
+  Bytes reserved() const { return reserved_; }
+  Bytes capacity() const { return capacity_; }
+  Bytes available() const { return capacity_ - used_ - reserved_; }
+  std::size_t block_count() const { return entries_.size(); }
+  Bytes peak_used() const { return peak_used_; }
+
+ private:
+  void track_peak();
+
+  Bytes capacity_;
+  Bytes used_ = 0;
+  Bytes reserved_ = 0;
+  Bytes peak_used_ = 0;
+  std::unordered_map<BlockId, Bytes> entries_;
+};
+
+}  // namespace ignem

@@ -1,0 +1,98 @@
+#include "trace/disk_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ignem {
+
+namespace {
+
+/// Accumulates per-second utilization for one server into `seconds`.
+void accumulate_server(const GoogleTrace& trace, std::int32_t server,
+                       std::vector<double>& seconds) {
+  const double horizon_s = trace.config.horizon.to_seconds();
+  for (const TraceJob& job : trace.jobs) {
+    for (const TraceTask& task : job.tasks) {
+      if (task.server != server) continue;
+      const double start = std::max(0.0, task.start.to_seconds());
+      const double end = std::min(horizon_s, task.end.to_seconds());
+      if (end <= start) continue;
+      const double interval = task.end.to_seconds() - task.start.to_seconds();
+      if (interval <= 0) continue;
+      // IO time uniformly spread over the task's interval (§II-C1).
+      const double io_per_second = task.io_time.to_seconds() / interval;
+      const auto first = static_cast<std::size_t>(start);
+      const auto last = static_cast<std::size_t>(std::ceil(end));
+      for (std::size_t s = first; s < last && s < seconds.size(); ++s) {
+        const double overlap =
+            std::min(end, static_cast<double>(s + 1)) -
+            std::max(start, static_cast<double>(s));
+        if (overlap > 0) seconds[s] += io_per_second * overlap;
+      }
+    }
+  }
+}
+
+std::vector<double> window_means(const std::vector<double>& seconds,
+                                 Duration window) {
+  const auto w = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, window.count_micros() / 1'000'000));
+  std::vector<double> out;
+  out.reserve(seconds.size() / w + 1);
+  for (std::size_t i = 0; i < seconds.size(); i += w) {
+    const std::size_t end = std::min(seconds.size(), i + w);
+    double sum = 0;
+    for (std::size_t j = i; j < end; ++j) sum += seconds[j];
+    out.push_back(sum / static_cast<double>(end - i));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> server_utilization_timeline(const GoogleTrace& trace,
+                                                std::int32_t server,
+                                                Duration window) {
+  IGNEM_CHECK(server >= 0 && server < trace.config.server_count);
+  const auto horizon_s =
+      static_cast<std::size_t>(trace.config.horizon.to_seconds());
+  std::vector<double> seconds(horizon_s, 0.0);
+  accumulate_server(trace, server, seconds);
+  return window_means(seconds, window);
+}
+
+std::vector<double> mean_utilization_timeline(
+    const GoogleTrace& trace, const std::vector<std::int32_t>& servers,
+    Duration window) {
+  IGNEM_CHECK(!servers.empty());
+  std::vector<double> mean;
+  for (const std::int32_t server : servers) {
+    const std::vector<double> timeline =
+        server_utilization_timeline(trace, server, window);
+    if (mean.empty()) mean.assign(timeline.size(), 0.0);
+    IGNEM_CHECK(mean.size() == timeline.size());
+    for (std::size_t i = 0; i < timeline.size(); ++i) mean[i] += timeline[i];
+  }
+  for (double& v : mean) v /= static_cast<double>(servers.size());
+  return mean;
+}
+
+double mean_cluster_utilization(const GoogleTrace& trace) {
+  const double horizon_s = trace.config.horizon.to_seconds();
+  double io = 0;
+  for (const TraceJob& job : trace.jobs) {
+    for (const TraceTask& task : job.tasks) {
+      // Clip IO credit to the in-horizon part of the task.
+      const double start = std::max(0.0, task.start.to_seconds());
+      const double end = std::min(horizon_s, task.end.to_seconds());
+      const double interval = task.end.to_seconds() - task.start.to_seconds();
+      if (end <= start || interval <= 0) continue;
+      io += task.io_time.to_seconds() * (end - start) / interval;
+    }
+  }
+  return io / (static_cast<double>(trace.config.server_count) * horizon_s);
+}
+
+}  // namespace ignem

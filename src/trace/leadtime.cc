@@ -1,0 +1,31 @@
+#include "trace/leadtime.h"
+
+namespace ignem {
+
+Samples leadtime_ratios(const GoogleTrace& trace) {
+  Samples out;
+  out.reserve(trace.jobs.size());
+  for (const TraceJob& job : trace.jobs) {
+    const double lead = job.queue_time.to_seconds();
+    if (lead <= 0) continue;
+    double io = 0;
+    for (const TraceTask& task : job.tasks) io += task.io_time.to_seconds();
+    out.add(io / lead);
+  }
+  return out;
+}
+
+double fraction_fully_migratable(const GoogleTrace& trace) {
+  return leadtime_ratios(trace).fraction_at_most(1.0);
+}
+
+Samples queue_times_seconds(const GoogleTrace& trace) {
+  Samples out;
+  out.reserve(trace.jobs.size());
+  for (const TraceJob& job : trace.jobs) {
+    out.add(job.queue_time.to_seconds());
+  }
+  return out;
+}
+
+}  // namespace ignem

@@ -1,0 +1,24 @@
+// Lead-time vs read-time analysis (paper §II-C1, Fig. 3).
+//
+// For each job, sums the disk-IO time of all its tasks (as if served by one
+// disk on one machine — a conservative upper bound on migration work) and
+// compares it against the job's lead-time (its queueing delay, itself a
+// lower bound). Fig. 3 plots the CDF of the ratio; the paper finds the
+// lead-time sufficient to migrate the entire input for 81 % of jobs.
+#pragma once
+
+#include "common/stats.h"
+#include "workload/google_trace.h"
+
+namespace ignem {
+
+/// Per-job ratio of total task disk-IO time to job lead-time.
+Samples leadtime_ratios(const GoogleTrace& trace);
+
+/// Fraction of jobs whose entire input fits in the lead-time (ratio <= 1).
+double fraction_fully_migratable(const GoogleTrace& trace);
+
+/// Mean and median job queueing time (the paper reports 8.8 s / 1.8 s).
+Samples queue_times_seconds(const GoogleTrace& trace);
+
+}  // namespace ignem

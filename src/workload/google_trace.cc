@@ -1,0 +1,111 @@
+#include "workload/google_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ignem {
+
+GoogleTrace generate_google_trace(const GoogleTraceConfig& config) {
+  IGNEM_CHECK(config.server_count > 0);
+  IGNEM_CHECK(config.horizon > Duration::zero());
+  IGNEM_CHECK(config.queue_time_mean_s >= config.queue_time_median_s);
+
+  Rng rng(config.seed);
+  Rng queue_rng = rng.fork(1);
+  Rng shape_rng = rng.fork(2);
+  Rng io_rng = rng.fork(3);
+  Rng place_rng = rng.fork(4);
+
+  // Log-normal queue time hitting the published median and mean:
+  //   median = e^mu, mean = e^{mu + sigma^2/2}.
+  const double queue_mu = std::log(config.queue_time_median_s);
+  const double queue_sigma = std::sqrt(
+      2.0 * std::log(config.queue_time_mean_s / config.queue_time_median_s));
+
+  // Disk-IO intensity is strongly job-correlated in the trace: most jobs
+  // are CPU-bound (near-zero disk IO), while a minority of IO-heavy jobs
+  // carries almost all the disk traffic. This is exactly what reconciles
+  // the paper's two findings — per-server utilization around 3 % (driven by
+  // the heavy minority spread over ~10 concurrent tasks) with 81 % of jobs
+  // whose *own* total IO fits inside their lead-time.
+  const double heavy_job_fraction = 0.17;
+  const double zero_io_task_fraction = 0.4;  // CPU-only tasks inside any job
+  const double heavy_sigma = 1.0;
+  const double light_sigma = 1.5;
+  // Heavy-job duty mean chosen so the overall mean matches io_duty_cycle:
+  //   overall = (1-z) * (p*heavy + (1-p)*light)
+  const double light_mean = 0.00004;
+  const double heavy_mean =
+      (config.io_duty_cycle / (1.0 - zero_io_task_fraction) -
+       (1.0 - heavy_job_fraction) * light_mean) /
+      heavy_job_fraction;
+  IGNEM_CHECK(heavy_mean > 0);
+  const double heavy_mu = std::log(heavy_mean) - heavy_sigma * heavy_sigma / 2;
+  const double light_mu = std::log(light_mean) - light_sigma * light_sigma / 2;
+
+  // Fill the cluster to the target occupancy: total task-seconds equals
+  // servers * tasks_per_server * horizon.
+  const double target_task_seconds = static_cast<double>(config.server_count) *
+                                     config.tasks_per_server *
+                                     config.horizon.to_seconds();
+
+  GoogleTrace trace;
+  trace.config = config;
+  double generated_task_seconds = 0;
+  while (generated_task_seconds < target_task_seconds) {
+    TraceJob job;
+    job.submit = SimTime(static_cast<std::int64_t>(
+        shape_rng.uniform(0, static_cast<double>(config.horizon.count_micros()))));
+    job.queue_time =
+        Duration::seconds(queue_rng.lognormal(queue_mu, queue_sigma));
+    const bool heavy_job = io_rng.bernoulli(heavy_job_fraction);
+
+    // Task count: mostly small jobs, a heavy tail of wide ones (§II-C,
+    // matching the trace's job-size skew).
+    // Width is capped relative to the (scaled-down) cluster: on the real
+    // 12k-server cluster a wide job dilutes across servers; without the cap
+    // a 2000-task job on 200 servers would concentrate 60x more IO per
+    // server than the trace it models.
+    const double max_width =
+        std::min(2000.0, 2.5 * static_cast<double>(config.server_count));
+    std::size_t task_count;
+    if (shape_rng.bernoulli(0.7)) {
+      task_count = static_cast<std::size_t>(shape_rng.uniform_int(1, 10));
+    } else {
+      task_count = static_cast<std::size_t>(
+          shape_rng.bounded_pareto(1.3, 10.0, max_width));
+    }
+
+    job.tasks.reserve(task_count);
+    const SimTime first_start = job.submit + job.queue_time;
+    for (std::size_t t = 0; t < task_count; ++t) {
+      TraceTask task;
+      task.server = static_cast<std::int32_t>(
+          place_rng.uniform_int(0, config.server_count - 1));
+      // Tasks of a job start near each other; a small stagger models
+      // multiple scheduling waves.
+      const Duration stagger =
+          Duration::seconds(shape_rng.exponential(5.0));
+      task.start = first_start + stagger;
+      const Duration runtime = Duration::seconds(std::max(
+          1.0, shape_rng.exponential(config.mean_task_runtime.to_seconds())));
+      task.end = task.start + runtime;
+      double duty = 0.0;
+      if (!io_rng.bernoulli(zero_io_task_fraction)) {
+        duty = heavy_job
+                   ? std::min(0.9, io_rng.lognormal(heavy_mu, heavy_sigma))
+                   : std::min(0.9, io_rng.lognormal(light_mu, light_sigma));
+      }
+      task.io_time = runtime * duty;
+      generated_task_seconds += runtime.to_seconds();
+      job.tasks.push_back(task);
+    }
+    trace.jobs.push_back(std::move(job));
+  }
+  return trace;
+}
+
+}  // namespace ignem

@@ -1,0 +1,61 @@
+#include "workload/standalone.h"
+
+#include <algorithm>
+
+namespace ignem {
+
+namespace {
+int reduce_count_for(Bytes shuffle_bytes) {
+  return static_cast<int>(
+      std::clamp<Bytes>(shuffle_bytes / (512 * kMiB) + 1, 1, 32));
+}
+}  // namespace
+
+JobSpec make_sort_job(Testbed& testbed, const std::string& path, Bytes input) {
+  JobSpec spec;
+  spec.name = "sort";
+  spec.inputs = {testbed.create_file(path, input)};
+  // Large standalone jobs pay several seconds of client-side setup (jar
+  // upload, split computation over hundreds of blocks) — natural lead-time.
+  spec.submit_overhead = Duration::seconds(5.0);
+  spec.compute.task_overhead = Duration::millis(300);
+  spec.compute.map_cpu_secs_per_mib = 0.004;   // partition + spill
+  spec.compute.map_output_ratio = 1.0;         // everything is shuffled
+  spec.compute.reduce_cpu_secs_per_mib = 0.012;  // merge
+  spec.compute.output_ratio = 1.0;             // everything is written back
+  spec.compute.reduce_tasks = reduce_count_for(input);
+  return spec;
+}
+
+JobSpec make_wordcount_job(Testbed& testbed, const std::string& path,
+                           Bytes input) {
+  JobSpec spec;
+  spec.name = "wordcount";
+  spec.inputs = {testbed.create_file(path, input)};
+  // The paper reports a ~10 s minimum block lead-time for the unmodified
+  // wordcount (§IV-F); ~6 s of submitter setup plus scheduling gets there.
+  spec.submit_overhead = Duration::seconds(6.0);
+  spec.compute.task_overhead = Duration::millis(300);
+  // Java wordcount tokenizes at ~15 MB/s per task: maps are CPU-heavy.
+  spec.compute.map_cpu_secs_per_mib = 0.067;
+  spec.compute.map_output_ratio = 0.05;  // combiner collapses counts
+  spec.compute.reduce_cpu_secs_per_mib = 0.02;
+  spec.compute.output_ratio = 0.01;
+  spec.compute.reduce_tasks = 1;
+  return spec;
+}
+
+JobSpec make_grep_job(Testbed& testbed, const std::string& path, Bytes input) {
+  JobSpec spec;
+  spec.name = "grep";
+  spec.inputs = {testbed.create_file(path, input)};
+  spec.compute.task_overhead = Duration::millis(300);
+  spec.compute.map_cpu_secs_per_mib = 0.006;
+  spec.compute.map_output_ratio = 0.001;
+  spec.compute.reduce_cpu_secs_per_mib = 0.01;
+  spec.compute.output_ratio = 0.001;
+  spec.compute.reduce_tasks = 0;  // map-only
+  return spec;
+}
+
+}  // namespace ignem

@@ -1,0 +1,25 @@
+// Standalone MapReduce jobs from the paper's evaluation: sort (§IV-D),
+// wordcount (§IV-E/F), plus a grep scan used by examples.
+#pragma once
+
+#include <string>
+
+#include "common/units.h"
+#include "core/testbed.h"
+#include "mapreduce/job_spec.h"
+
+namespace ignem {
+
+/// Sort: shuffle == input, output == input — reads matter even for jobs with
+/// heavy compute and writes (§IV-D runs a 40 GB random-text sort).
+JobSpec make_sort_job(Testbed& testbed, const std::string& path, Bytes input);
+
+/// Wordcount: CPU-heavier maps, tiny aggregated output. The paper sweeps
+/// 1–12 GB inputs built by repeating a 400 MB text corpus (§IV-B2).
+JobSpec make_wordcount_job(Testbed& testbed, const std::string& path,
+                           Bytes input);
+
+/// Grep-style selective scan: near-zero map output; a map-only job.
+JobSpec make_grep_job(Testbed& testbed, const std::string& path, Bytes input);
+
+}  // namespace ignem

@@ -1,0 +1,149 @@
+#include "workload/swim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/check.h"
+
+namespace ignem {
+
+std::vector<SwimJob> generate_swim_trace(const SwimConfig& config) {
+  IGNEM_CHECK(config.job_count > 0);
+  IGNEM_CHECK(config.small_job_fraction >= 0 && config.small_job_fraction <= 1);
+  Rng rng(config.seed);
+  Rng size_rng = rng.fork(1);
+  Rng ratio_rng = rng.fork(2);
+  Rng arrival_rng = rng.fork(3);
+
+  std::vector<SwimJob> jobs(config.job_count);
+  const auto small_count = static_cast<std::size_t>(
+      std::round(config.small_job_fraction *
+                 static_cast<double>(config.job_count)));
+  const auto medium_count = static_cast<std::size_t>(
+      std::round(config.medium_job_fraction *
+                 static_cast<double>(config.job_count)));
+  const std::size_t fixed_count =
+      std::min(jobs.size(), small_count + medium_count);
+
+  Bytes small_total = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SwimJob& job = jobs[i];
+    if (i < small_count) {
+      // Small jobs: log-uniform over [small_min, small_max] — the trace's
+      // mass of tiny summary/ad-hoc jobs.
+      const double lo = std::log(static_cast<double>(config.small_min));
+      const double hi = std::log(static_cast<double>(config.small_max));
+      job.input = static_cast<Bytes>(std::exp(size_rng.uniform(lo, hi)));
+      small_total += job.input;
+    } else if (i < fixed_count) {
+      // Medium jobs: log-uniform over (small_max, medium_max].
+      const double lo = std::log(static_cast<double>(config.small_max + 1));
+      const double hi = std::log(static_cast<double>(config.medium_max));
+      job.input = static_cast<Bytes>(std::exp(size_rng.uniform(lo, hi)));
+      small_total += job.input;  // held fixed by the tail rescale below
+    } else {
+      // Tail jobs: bounded Pareto, rescaled below to hit the total.
+      job.input = static_cast<Bytes>(size_rng.bounded_pareto(
+          config.tail_pareto_alpha, static_cast<double>(config.small_max),
+          static_cast<double>(config.tail_max)));
+    }
+    // Shuffle/output shape: most jobs aggregate heavily (§II-A); some are
+    // shuffle-heavy.
+    const double r = ratio_rng.next_double();
+    if (r < 0.55) {
+      job.shuffle_ratio = ratio_rng.uniform(0.0, 0.1);
+    } else if (r < 0.9) {
+      job.shuffle_ratio = ratio_rng.uniform(0.1, 0.5);
+    } else {
+      job.shuffle_ratio = ratio_rng.uniform(0.5, 1.0);
+    }
+    job.output_ratio = job.shuffle_ratio * ratio_rng.uniform(0.2, 1.0);
+  }
+
+  // Rescale the tail so total input == config.total_input. Scaling clamps
+  // some jobs at tail_max, which loses mass, so iterate: each pass rescales
+  // only the unclamped jobs to cover the remaining deficit.
+  const Bytes tail_target = config.total_input - small_total;
+  if (tail_target > 0 && fixed_count < jobs.size()) {
+    for (int pass = 0; pass < 12; ++pass) {
+      Bytes clamped_total = 0, free_total = 0;
+      for (std::size_t i = fixed_count; i < jobs.size(); ++i) {
+        if (jobs[i].input >= config.tail_max) {
+          clamped_total += jobs[i].input;
+        } else {
+          free_total += jobs[i].input;
+        }
+      }
+      const Bytes deficit = tail_target - clamped_total - free_total;
+      if (free_total <= 0 ||
+          std::abs(static_cast<double>(deficit)) <
+              0.005 * static_cast<double>(tail_target)) {
+        break;
+      }
+      const double scale =
+          static_cast<double>(tail_target - clamped_total) /
+          static_cast<double>(free_total);
+      if (scale <= 0) break;
+      for (std::size_t i = fixed_count; i < jobs.size(); ++i) {
+        if (jobs[i].input >= config.tail_max) continue;
+        jobs[i].input = std::clamp(
+            static_cast<Bytes>(static_cast<double>(jobs[i].input) * scale),
+            config.medium_max + 1, config.tail_max);
+      }
+    }
+  }
+
+  // Arrivals: Poisson process, then shuffle job order so sizes are not
+  // correlated with time (drawing arrival order from the size-sorted array
+  // would be an artifact).
+  for (std::size_t i = jobs.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        arrival_rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(jobs[i - 1], jobs[j]);
+  }
+  Duration t = Duration::zero();
+  for (auto& job : jobs) {
+    job.arrival = t;
+    t += Duration::seconds(
+        arrival_rng.exponential(config.mean_interarrival.to_seconds()));
+  }
+  return jobs;
+}
+
+ComputeModel swim_compute_model(const SwimJob& job) {
+  ComputeModel model;
+  model.task_overhead = Duration::millis(200);
+  model.map_cpu_secs_per_mib = 0.001;  // read-dominated mappers (§IV-C3)
+  model.map_output_ratio = job.shuffle_ratio;
+  model.reduce_cpu_secs_per_mib = 0.01;
+  model.output_ratio = job.output_ratio;
+  const Bytes shuffle = static_cast<Bytes>(
+      static_cast<double>(job.input) * job.shuffle_ratio);
+  model.reduce_tasks =
+      shuffle == 0 ? 0
+                   : static_cast<int>(std::clamp<Bytes>(
+                         shuffle / (256 * kMiB) + 1, 1, 16));
+  return model;
+}
+
+std::vector<ScheduledJob> build_swim_workload(Testbed& testbed,
+                                              const SwimConfig& config) {
+  const std::vector<SwimJob> trace = generate_swim_trace(config);
+  std::vector<ScheduledJob> out;
+  out.reserve(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const SwimJob& job = trace[i];
+    const FileId input = testbed.create_file(
+        "/swim/input-" + std::to_string(i), job.input);
+    ScheduledJob scheduled;
+    scheduled.arrival = job.arrival;
+    scheduled.spec.name = "swim-" + std::to_string(i);
+    scheduled.spec.inputs = {input};
+    scheduled.spec.compute = swim_compute_model(job);
+    out.push_back(std::move(scheduled));
+  }
+  return out;
+}
+
+}  // namespace ignem

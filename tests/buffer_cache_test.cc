@@ -1,0 +1,89 @@
+#include "storage/buffer_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace ignem {
+namespace {
+
+TEST(BufferCache, LockTracksUsage) {
+  BufferCache cache(100);
+  EXPECT_TRUE(cache.lock(BlockId(1), 40));
+  EXPECT_EQ(cache.used(), 40);
+  EXPECT_EQ(cache.available(), 60);
+  EXPECT_TRUE(cache.contains(BlockId(1)));
+  EXPECT_EQ(cache.block_count(), 1u);
+}
+
+TEST(BufferCache, RejectsOverflowWithoutStateChange) {
+  BufferCache cache(100);
+  EXPECT_TRUE(cache.lock(BlockId(1), 80));
+  EXPECT_FALSE(cache.lock(BlockId(2), 30));
+  EXPECT_EQ(cache.used(), 80);
+  EXPECT_FALSE(cache.contains(BlockId(2)));
+}
+
+TEST(BufferCache, ExactFitAccepted) {
+  BufferCache cache(100);
+  EXPECT_TRUE(cache.lock(BlockId(1), 100));
+  EXPECT_EQ(cache.available(), 0);
+}
+
+TEST(BufferCache, DoubleLockIsIdempotent) {
+  BufferCache cache(100);
+  EXPECT_TRUE(cache.lock(BlockId(1), 60));
+  EXPECT_TRUE(cache.lock(BlockId(1), 60));  // no double count
+  EXPECT_EQ(cache.used(), 60);
+}
+
+TEST(BufferCache, UnlockFrees) {
+  BufferCache cache(100);
+  cache.lock(BlockId(1), 60);
+  EXPECT_TRUE(cache.unlock(BlockId(1)));
+  EXPECT_EQ(cache.used(), 0);
+  EXPECT_FALSE(cache.contains(BlockId(1)));
+  EXPECT_FALSE(cache.unlock(BlockId(1)));  // already gone
+}
+
+TEST(BufferCache, UnlockThenRelockSucceeds) {
+  BufferCache cache(100);
+  cache.lock(BlockId(1), 80);
+  EXPECT_FALSE(cache.lock(BlockId(2), 80));
+  cache.unlock(BlockId(1));
+  EXPECT_TRUE(cache.lock(BlockId(2), 80));
+}
+
+TEST(BufferCache, ClearDropsEverything) {
+  BufferCache cache(100);
+  cache.lock(BlockId(1), 30);
+  cache.lock(BlockId(2), 30);
+  cache.clear();
+  EXPECT_EQ(cache.used(), 0);
+  EXPECT_EQ(cache.block_count(), 0u);
+  EXPECT_FALSE(cache.contains(BlockId(1)));
+}
+
+TEST(BufferCache, PeakUsageSticksAfterUnlock) {
+  BufferCache cache(100);
+  cache.lock(BlockId(1), 70);
+  cache.unlock(BlockId(1));
+  cache.lock(BlockId(2), 10);
+  EXPECT_EQ(cache.peak_used(), 70);
+}
+
+TEST(BufferCache, ZeroCapacityOnlyFitsZeroBytes) {
+  BufferCache cache(0);
+  EXPECT_FALSE(cache.lock(BlockId(1), 1));
+  EXPECT_TRUE(cache.lock(BlockId(2), 0));
+}
+
+TEST(BufferCache, RejectsInvalidArguments) {
+  BufferCache cache(100);
+  EXPECT_THROW(cache.lock(BlockId::invalid(), 1), CheckFailure);
+  EXPECT_THROW(cache.lock(BlockId(1), -1), CheckFailure);
+  EXPECT_THROW(BufferCache(-5), CheckFailure);
+}
+
+}  // namespace
+}  // namespace ignem

@@ -1,0 +1,185 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ignem {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBoundsAndCoverage) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(0, 5);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all values reachable
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(13);
+  EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, BoundedParetoWithinBounds) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.bounded_pareto(1.2, 1.0, 1000.0);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 1000.0);
+  }
+}
+
+TEST(Rng, BoundedParetoIsHeavyTailed) {
+  // Median far below mean signals the heavy tail.
+  Rng rng(29);
+  std::vector<double> vs;
+  double sum = 0;
+  for (int i = 0; i < 50000; ++i) {
+    vs.push_back(rng.bounded_pareto(1.1, 1.0, 10000.0));
+    sum += vs.back();
+  }
+  std::sort(vs.begin(), vs.end());
+  const double median = vs[vs.size() / 2];
+  const double mean = sum / static_cast<double>(vs.size());
+  EXPECT_GT(mean, 3.0 * median);
+}
+
+TEST(Rng, LognormalMedianIsExpMu) {
+  Rng rng(31);
+  std::vector<double> vs;
+  for (int i = 0; i < 50000; ++i) vs.push_back(rng.lognormal(1.0, 0.8));
+  std::sort(vs.begin(), vs.end());
+  EXPECT_NEAR(vs[vs.size() / 2], std::exp(1.0), 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(37);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(41);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(43);
+  std::vector<double> weights{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(Rng, WeightedIndexRejectsEmptyAndZero) {
+  Rng rng(47);
+  EXPECT_THROW(rng.weighted_index({}), CheckFailure);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), CheckFailure);
+}
+
+TEST(Rng, ForkIsStableAgainstParentDraws) {
+  // The forked stream depends only on the parent's seed and the stream id,
+  // not on how many numbers the parent has drawn.
+  Rng parent1(99);
+  Rng parent2(99);
+  parent2.next_u64();
+  parent2.next_u64();
+  Rng f1 = parent1.fork(5);
+  Rng f2 = parent2.fork(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(f1.next_u64(), f2.next_u64());
+}
+
+TEST(Rng, SiblingForksDiffer) {
+  Rng parent(99);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Splitmix, KnownAdvance) {
+  std::uint64_t s1 = 0;
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(splitmix64(s1), splitmix64(s2) + 1);
+}
+
+}  // namespace
+}  // namespace ignem

@@ -1,0 +1,85 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace ignem {
+namespace {
+
+TEST(Duration, FactoriesAgree) {
+  EXPECT_EQ(Duration::seconds(1.0), Duration::millis(1000));
+  EXPECT_EQ(Duration::millis(1), Duration::micros(1000));
+  EXPECT_EQ(Duration::minutes(2), Duration::seconds(120));
+  EXPECT_EQ(Duration::hours(1), Duration::minutes(60));
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::seconds(1.5);
+  const Duration b = Duration::seconds(0.5);
+  EXPECT_EQ((a + b).to_seconds(), 2.0);
+  EXPECT_EQ((a - b).to_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).to_seconds(), 3.0);
+  Duration c = a;
+  c += b;
+  EXPECT_EQ(c, Duration::seconds(2.0));
+  c -= a;
+  EXPECT_EQ(c, b);
+}
+
+TEST(Duration, Ordering) {
+  EXPECT_LT(Duration::zero(), Duration::micros(1));
+  EXPECT_GT(Duration::seconds(2), Duration::seconds(1));
+  EXPECT_LE(Duration::seconds(1), Duration::millis(1000));
+}
+
+TEST(SimTime, OffsetAndDifference) {
+  const SimTime t0 = SimTime::zero();
+  const SimTime t1 = t0 + Duration::seconds(3);
+  EXPECT_EQ((t1 - t0).to_seconds(), 3.0);
+  EXPECT_EQ(t1 - Duration::seconds(3), t0);
+  EXPECT_LT(t0, t1);
+}
+
+TEST(SimTime, MaxIsSentinel) {
+  EXPECT_GT(SimTime::max(), SimTime::zero() + Duration::hours(24 * 365));
+}
+
+TEST(TransferTime, ExactRates) {
+  // 100 MiB at 100 MiB/s is exactly one second.
+  EXPECT_EQ(transfer_time(100 * kMiB, mib_per_sec(100)), Duration::seconds(1));
+}
+
+TEST(TransferTime, RoundsUpToMicrosecond) {
+  // A tiny transfer still takes at least 1 us so events always advance time.
+  EXPECT_GE(transfer_time(1, gib_per_sec(100)), Duration::micros(1));
+}
+
+TEST(TransferTime, ZeroBytesIsInstant) {
+  EXPECT_EQ(transfer_time(0, mib_per_sec(1)), Duration::zero());
+}
+
+TEST(TransferTime, RejectsNonPositiveBandwidth) {
+  EXPECT_THROW(transfer_time(1, 0.0), CheckFailure);
+  EXPECT_THROW(transfer_time(-1, 1.0), CheckFailure);
+}
+
+TEST(Units, ByteHelpers) {
+  EXPECT_EQ(mib(1.0), kMiB);
+  EXPECT_EQ(gib(2.0), 2 * kGiB);
+  EXPECT_EQ(kGiB, 1024 * kMiB);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(kKiB), "1.00 KiB");
+  EXPECT_EQ(format_bytes(kMiB + kMiB / 2), "1.50 MiB");
+  EXPECT_EQ(format_bytes(3 * kGiB), "3.00 GiB");
+}
+
+TEST(Units, DurationToString) {
+  EXPECT_EQ(Duration::seconds(1.25).to_string(), "1.250s");
+}
+
+}  // namespace
+}  // namespace ignem

@@ -1,0 +1,104 @@
+#include "metrics/csv_export.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ignem {
+namespace {
+
+RunMetrics sample_metrics() {
+  RunMetrics metrics;
+  BlockReadRecord read;
+  read.block = BlockId(7);
+  read.job = JobId(3);
+  read.reader = NodeId(1);
+  read.bytes = 64 * kMiB;
+  read.start = SimTime(2'000'000);
+  read.duration = Duration::millis(1500);
+  read.from_memory = true;
+  read.remote = false;
+  metrics.add_block_read(read);
+
+  TaskRecord task;
+  task.task = TaskId(11);
+  task.job = JobId(3);
+  task.node = NodeId(2);
+  task.kind = TaskKind::kReduce;
+  task.input_bytes = 123;
+  task.launch = SimTime(4'000'000);
+  task.duration = Duration::seconds(2);
+  task.read_time = Duration::zero();
+  metrics.add_task(task);
+
+  JobRecord job;
+  job.job = JobId(3);
+  job.name = "scan";
+  job.input_bytes = 64 * kMiB;
+  job.submit = SimTime::zero();
+  job.first_task_start = SimTime(1'000'000);
+  job.end = SimTime(9'000'000);
+  job.duration = Duration::seconds(9);
+  metrics.add_job(job);
+
+  MemorySample sample;
+  sample.node = NodeId(0);
+  sample.when = SimTime(5'000'000);
+  sample.locked_bytes = 42;
+  metrics.add_memory_sample(sample);
+  return metrics;
+}
+
+std::size_t line_count(const std::string& s) {
+  std::size_t n = 0;
+  for (const char c : s) {
+    if (c == '\n') ++n;
+  }
+  return n;
+}
+
+TEST(CsvExport, BlockReads) {
+  std::ostringstream os;
+  write_block_reads_csv(sample_metrics(), os);
+  const std::string out = os.str();
+  EXPECT_EQ(line_count(out), 2u);  // header + one row
+  EXPECT_NE(out.find("block,job,reader"), std::string::npos);
+  EXPECT_NE(out.find("7,3,1,67108864,2,1.5,1,0"), std::string::npos);
+}
+
+TEST(CsvExport, Tasks) {
+  std::ostringstream os;
+  write_tasks_csv(sample_metrics(), os);
+  const std::string out = os.str();
+  EXPECT_EQ(line_count(out), 2u);
+  EXPECT_NE(out.find("11,3,2,reduce,123,4,2,0"), std::string::npos);
+}
+
+TEST(CsvExport, Jobs) {
+  std::ostringstream os;
+  write_jobs_csv(sample_metrics(), os);
+  const std::string out = os.str();
+  EXPECT_EQ(line_count(out), 2u);
+  EXPECT_NE(out.find("3,scan,67108864,0,1,9,9"), std::string::npos);
+}
+
+TEST(CsvExport, MemorySamples) {
+  std::ostringstream os;
+  write_memory_samples_csv(sample_metrics(), os);
+  const std::string out = os.str();
+  EXPECT_EQ(line_count(out), 2u);
+  EXPECT_NE(out.find("0,5,42"), std::string::npos);
+}
+
+TEST(CsvExport, EmptyMetricsWriteHeadersOnly) {
+  RunMetrics empty;
+  std::ostringstream os;
+  write_block_reads_csv(empty, os);
+  write_tasks_csv(empty, os);
+  write_jobs_csv(empty, os);
+  write_memory_samples_csv(empty, os);
+  EXPECT_EQ(line_count(os.str()), 4u);
+}
+
+}  // namespace
+}  // namespace ignem

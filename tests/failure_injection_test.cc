@@ -1,0 +1,112 @@
+// Failure-resilience tests (paper §III-A5): master and slave crashes in the
+// middle of live workloads must degrade performance only, never correctness.
+#include <gtest/gtest.h>
+
+#include "core/testbed.h"
+#include "workload/swim.h"
+
+namespace ignem {
+namespace {
+
+TestbedConfig ignem_config() {
+  TestbedConfig config;
+  config.mode = RunMode::kIgnem;
+  config.cluster.node_count = 4;
+  config.cluster.slots_per_node = 6;
+  config.cache_capacity_per_node = 16 * kGiB;
+  config.seed = 43;
+  return config;
+}
+
+SwimConfig mini_swim() {
+  SwimConfig config;
+  config.job_count = 20;
+  config.total_input = 4 * kGiB;
+  config.tail_max = 1 * kGiB;
+  config.mean_interarrival = Duration::seconds(2.0);
+  config.seed = 6;
+  return config;
+}
+
+TEST(FailureInjection, MasterCrashMidWorkloadIsSurvivable) {
+  Testbed testbed(ignem_config());
+  auto jobs = build_swim_workload(testbed, mini_swim());
+  // Crash the master 10 s in, restart 2 s later.
+  testbed.sim().schedule(Duration::seconds(10),
+                         [&] { testbed.ignem_master()->fail(); });
+  testbed.sim().schedule(Duration::seconds(12),
+                         [&] { testbed.ignem_master()->restart(); });
+  testbed.run_workload(std::move(jobs));
+  EXPECT_EQ(testbed.metrics().jobs().size(), 20u);
+  // All migration memory eventually reclaimed (no leaks across the crash).
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(testbed.datanode(NodeId(i)).cache().used(), 0);
+  }
+}
+
+TEST(FailureInjection, MasterCrashPurgesSlaveMemoryImmediately) {
+  Testbed testbed(ignem_config());
+  auto jobs = build_swim_workload(testbed, mini_swim());
+  testbed.sim().schedule(Duration::seconds(15), [&] {
+    testbed.ignem_master()->fail();
+    for (std::int64_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(testbed.ignem_slave(NodeId(i))->locked_bytes(), 0)
+          << "slave " << i << " kept memory after master failure";
+      EXPECT_EQ(testbed.ignem_slave(NodeId(i))->queue_depth(), 0u);
+    }
+    testbed.ignem_master()->restart();
+  });
+  testbed.run_workload(std::move(jobs));
+  EXPECT_EQ(testbed.metrics().jobs().size(), 20u);
+}
+
+TEST(FailureInjection, SlaveProcessRestartMidWorkload) {
+  Testbed testbed(ignem_config());
+  auto jobs = build_swim_workload(testbed, mini_swim());
+  // Restart slave 1's process at t=10 s: its locked pool vanishes but disk
+  // data survives, so reads keep working.
+  testbed.sim().schedule(Duration::seconds(10), [&] {
+    testbed.ignem_slave(NodeId(1))->reset();
+    testbed.datanode(NodeId(1)).fail();
+    testbed.datanode(NodeId(1)).restart();
+  });
+  testbed.run_workload(std::move(jobs));
+  EXPECT_EQ(testbed.metrics().jobs().size(), 20u);
+  EXPECT_EQ(testbed.datanode(NodeId(1)).cache().used(), 0);
+}
+
+TEST(FailureInjection, RepeatedMasterCrashes) {
+  Testbed testbed(ignem_config());
+  auto jobs = build_swim_workload(testbed, mini_swim());
+  for (int k = 1; k <= 5; ++k) {
+    testbed.sim().schedule(Duration::seconds(5 * k),
+                           [&] { testbed.ignem_master()->fail(); });
+    testbed.sim().schedule(Duration::seconds(5 * k + 1),
+                           [&] { testbed.ignem_master()->restart(); });
+  }
+  testbed.run_workload(std::move(jobs));
+  EXPECT_EQ(testbed.metrics().jobs().size(), 20u);
+}
+
+TEST(FailureInjection, CrashOnlySlowsJobsDown) {
+  // Performance-only degradation: the crashed run completes but is no
+  // faster than the clean run.
+  auto run = [](bool crash) {
+    Testbed testbed(ignem_config());
+    auto jobs = build_swim_workload(testbed, mini_swim());
+    if (crash) {
+      testbed.sim().schedule(Duration::seconds(8), [&] {
+        testbed.ignem_master()->fail();
+        testbed.ignem_master()->restart();
+      });
+    }
+    testbed.run_workload(std::move(jobs));
+    return testbed.metrics().mean_job_duration_seconds();
+  };
+  const double clean = run(false);
+  const double crashed = run(true);
+  EXPECT_GE(crashed, clean * 0.99);
+}
+
+}  // namespace
+}  // namespace ignem

@@ -1,0 +1,108 @@
+#include "workload/google_trace.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/disk_util.h"
+#include "trace/leadtime.h"
+
+namespace ignem {
+namespace {
+
+GoogleTraceConfig small_config() {
+  GoogleTraceConfig config;
+  config.server_count = 50;
+  config.horizon = Duration::hours(4);
+  config.seed = 11;
+  return config;
+}
+
+TEST(GoogleTrace, QueueTimesMatchPublishedStats) {
+  const GoogleTrace trace = generate_google_trace(small_config());
+  const Samples queue = queue_times_seconds(trace);
+  ASSERT_GT(queue.count(), 100u);
+  // Paper (§II-C1): mean 8.8 s, median 1.8 s.
+  EXPECT_NEAR(queue.median(), 1.8, 0.5);
+  EXPECT_NEAR(queue.mean(), 8.8, 3.0);
+}
+
+TEST(GoogleTrace, OccupancyNearTasksPerServer) {
+  const GoogleTraceConfig config = small_config();
+  const GoogleTrace trace = generate_google_trace(config);
+  double task_seconds = 0;
+  for (const auto& job : trace.jobs) {
+    for (const auto& task : job.tasks) {
+      task_seconds += (task.end - task.start).to_seconds();
+    }
+  }
+  const double occupancy = task_seconds / (config.horizon.to_seconds() *
+                                           config.server_count);
+  EXPECT_NEAR(occupancy, config.tasks_per_server, 1.5);
+}
+
+TEST(GoogleTrace, MeanDiskUtilizationNearThreePercent) {
+  const GoogleTrace trace = generate_google_trace(small_config());
+  const double util = mean_cluster_utilization(trace);
+  // Paper: 3.1 % over 24 h. Accept a band (synthetic + clipping effects).
+  EXPECT_GT(util, 0.01);
+  EXPECT_LT(util, 0.06);
+}
+
+TEST(GoogleTrace, MajorityOfJobsFullyMigratable) {
+  const GoogleTrace trace = generate_google_trace(small_config());
+  const double fraction = fraction_fully_migratable(trace);
+  // Paper Fig. 3: 81 %. The synthetic trace must land in that regime.
+  EXPECT_GT(fraction, 0.70);
+  EXPECT_LT(fraction, 0.92);
+}
+
+TEST(GoogleTrace, ServerTimelineHasLowTypicalUtilization) {
+  const GoogleTrace trace = generate_google_trace(small_config());
+  const auto timeline = server_utilization_timeline(trace, 0);
+  ASSERT_FALSE(timeline.empty());
+  Samples s;
+  for (const double v : timeline) s.add(v);
+  EXPECT_LT(s.median(), 0.15);  // disks are mostly idle (Fig. 4)
+}
+
+TEST(GoogleTrace, MeanTimelineSmoother) {
+  const GoogleTrace trace = generate_google_trace(small_config());
+  std::vector<std::int32_t> servers;
+  for (std::int32_t i = 0; i < 40; ++i) servers.push_back(i);
+  const auto mean = mean_utilization_timeline(trace, servers);
+  const auto single = server_utilization_timeline(trace, 0);
+  ASSERT_EQ(mean.size(), single.size());
+  Samples mean_s, single_s;
+  for (const double v : mean) mean_s.add(v);
+  for (const double v : single) single_s.add(v);
+  // Averaging across servers shrinks the spread (the Fig. 4 visual).
+  EXPECT_LT(mean_s.max() - mean_s.min(), single_s.max() - single_s.min());
+  // Mean utilization of 40 servers stays low at all times (paper: <= 5 %
+  // on their sample; we allow a loose band).
+  EXPECT_LT(mean_s.max(), 0.15);
+}
+
+TEST(GoogleTrace, Deterministic) {
+  const GoogleTrace a = generate_google_trace(small_config());
+  const GoogleTrace b = generate_google_trace(small_config());
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  EXPECT_EQ(a.jobs[0].queue_time, b.jobs[0].queue_time);
+  EXPECT_EQ(a.jobs[0].tasks.size(), b.jobs[0].tasks.size());
+}
+
+TEST(GoogleTrace, TasksWithinConfiguredServerRange) {
+  const GoogleTraceConfig config = small_config();
+  const GoogleTrace trace = generate_google_trace(config);
+  for (const auto& job : trace.jobs) {
+    EXPECT_GE(job.queue_time, Duration::zero());
+    for (const auto& task : job.tasks) {
+      EXPECT_GE(task.server, 0);
+      EXPECT_LT(task.server, config.server_count);
+      EXPECT_GT(task.end, task.start);
+      EXPECT_GE(task.io_time, Duration::zero());
+      EXPECT_LE(task.io_time, task.end - task.start);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ignem

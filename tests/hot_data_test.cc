@@ -1,0 +1,149 @@
+#include "core/hot_data.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/testbed.h"
+#include "sim/simulator.h"
+#include "workload/standalone.h"
+#include "workload/swim.h"
+
+namespace ignem {
+namespace {
+
+class HotDataUnitTest : public ::testing::Test {
+ protected:
+  void build(Bytes capacity = 1 * kGiB, int threshold = 2) {
+    DeviceProfile profile = hdd_profile();
+    profile.access_jitter = 0.0;
+    datanode_ = std::make_unique<DataNode>(sim_, NodeId(0), profile, capacity,
+                                           Rng(1));
+    HotDataConfig config;
+    config.promote_threshold = threshold;
+    promoter_ = std::make_unique<HotDataPromoter>(sim_, *datanode_, config);
+  }
+
+  void read(std::int64_t block) {
+    datanode_->read_block(BlockId(block), JobId(1),
+                          [](const BlockReadResult&) {});
+    sim_.run();
+  }
+
+  Simulator sim_;
+  std::unique_ptr<DataNode> datanode_;
+  std::unique_ptr<HotDataPromoter> promoter_;
+};
+
+TEST_F(HotDataUnitTest, SingleReadNeverPromotes) {
+  build();
+  datanode_->add_block(BlockId(1), 64 * kMiB);
+  read(1);
+  EXPECT_FALSE(promoter_->promoted(BlockId(1)));
+  EXPECT_EQ(promoter_->stats().promotions, 0u);
+}
+
+TEST_F(HotDataUnitTest, SecondReadPromotes) {
+  build();
+  datanode_->add_block(BlockId(1), 64 * kMiB);
+  read(1);
+  read(1);
+  EXPECT_TRUE(promoter_->promoted(BlockId(1)));
+  EXPECT_TRUE(datanode_->cache().contains(BlockId(1)));
+  EXPECT_EQ(promoter_->stats().promotions, 1u);
+  EXPECT_EQ(promoter_->stats().bytes_promoted, 64 * kMiB);
+}
+
+TEST_F(HotDataUnitTest, PromotedBlockServedFromMemory) {
+  build();
+  datanode_->add_block(BlockId(1), 64 * kMiB);
+  read(1);
+  read(1);
+  BlockReadResult third{};
+  datanode_->read_block(BlockId(1), JobId(1),
+                        [&](const BlockReadResult& r) { third = r; });
+  sim_.run();
+  EXPECT_TRUE(third.from_memory);
+}
+
+TEST_F(HotDataUnitTest, ThresholdRespected) {
+  build(1 * kGiB, /*threshold=*/3);
+  datanode_->add_block(BlockId(1), 64 * kMiB);
+  read(1);
+  read(1);
+  EXPECT_FALSE(promoter_->promoted(BlockId(1)));
+  read(1);
+  EXPECT_TRUE(promoter_->promoted(BlockId(1)));
+}
+
+TEST_F(HotDataUnitTest, LruEvictionUnderPressure) {
+  build(/*capacity=*/128 * kMiB);
+  datanode_->add_block(BlockId(1), 64 * kMiB);
+  datanode_->add_block(BlockId(2), 64 * kMiB);
+  datanode_->add_block(BlockId(3), 64 * kMiB);
+  read(1);
+  read(1);  // promote 1
+  read(2);
+  read(2);  // promote 2 (cache now full)
+  read(1);  // touch 1 so 2 is the LRU victim
+  read(3);
+  read(3);  // promote 3, evicting 2
+  EXPECT_TRUE(promoter_->promoted(BlockId(1)));
+  EXPECT_FALSE(promoter_->promoted(BlockId(2)));
+  EXPECT_TRUE(promoter_->promoted(BlockId(3)));
+  EXPECT_EQ(promoter_->stats().evictions, 1u);
+}
+
+// --- Integration: the paper's §I/§V claim ---
+
+TestbedConfig testbed_config(RunMode mode) {
+  TestbedConfig config;
+  config.mode = mode;
+  config.cluster.node_count = 4;
+  config.cluster.slots_per_node = 6;
+  config.cache_capacity_per_node = 32 * kGiB;
+  config.seed = 31;
+  config.memory_sample_period = Duration::zero();
+  return config;
+}
+
+TEST(HotDataIntegration, UselessForSinglyReadWorkload) {
+  // SWIM inputs are singly read: hot-data promotion must change nothing.
+  SwimConfig swim;
+  swim.job_count = 20;
+  swim.total_input = 4 * kGiB;
+  swim.tail_max = 1 * kGiB;
+  swim.seed = 8;
+
+  Testbed plain(testbed_config(RunMode::kHdfs));
+  plain.run_workload(build_swim_workload(plain, swim));
+  Testbed hot(testbed_config(RunMode::kHotDataPromotion));
+  hot.run_workload(build_swim_workload(hot, swim));
+
+  EXPECT_EQ(hot.metrics().memory_read_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(hot.metrics().mean_job_duration_seconds(),
+                   plain.metrics().mean_job_duration_seconds());
+}
+
+TEST(HotDataIntegration, HelpsIterativeWorkload) {
+  // Five passes over the same file: promotion kicks in after pass 2.
+  auto run_passes = [](RunMode mode) {
+    Testbed testbed(testbed_config(mode));
+    JobSpec pass = make_grep_job(testbed, "/iter", 512 * kMiB);
+    std::vector<ScheduledJob> jobs;
+    for (int i = 0; i < 5; ++i) {
+      ScheduledJob job;
+      job.arrival = Duration::seconds(i * 40.0);  // strictly sequential
+      job.spec = pass;
+      job.spec.name = "pass-" + std::to_string(i);
+      jobs.push_back(job);
+    }
+    testbed.run_workload(std::move(jobs));
+    return testbed.metrics();
+  };
+  const RunMetrics hot = run_passes(RunMode::kHotDataPromotion);
+  EXPECT_GT(hot.memory_read_fraction(), 0.25);  // later passes hit memory
+}
+
+}  // namespace
+}  // namespace ignem

@@ -1,0 +1,105 @@
+#include "workload/swim.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ignem {
+namespace {
+
+TEST(SwimTrace, MatchesPublishedMarginals) {
+  SwimConfig config;  // the paper's defaults: 200 jobs, 170 GB
+  const auto jobs = generate_swim_trace(config);
+  ASSERT_EQ(jobs.size(), 200u);
+
+  // 85% of jobs read <= 64 MB (§IV-B1).
+  std::size_t small = 0;
+  Bytes total = 0, max_input = 0;
+  for (const auto& job : jobs) {
+    if (job.input <= 64 * kMiB) ++small;
+    total += job.input;
+    max_input = std::max(max_input, job.input);
+  }
+  EXPECT_NEAR(static_cast<double>(small) / 200.0, 0.85, 0.03);
+  EXPECT_NEAR(static_cast<double>(total) / static_cast<double>(170 * kGiB),
+              1.0, 0.05);
+  EXPECT_LE(max_input, 24 * kGiB);
+  EXPECT_GT(max_input, 4 * kGiB);  // a real heavy tail
+}
+
+TEST(SwimTrace, ArrivalsAreMonotone) {
+  const auto jobs = generate_swim_trace(SwimConfig{});
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    EXPECT_GE(jobs[i].arrival, jobs[i - 1].arrival);
+  }
+  EXPECT_EQ(jobs[0].arrival, Duration::zero());
+}
+
+TEST(SwimTrace, MeanInterarrivalNearConfig) {
+  SwimConfig config;
+  config.job_count = 2000;  // more samples for a tight estimate
+  config.mean_interarrival = Duration::seconds(4.0);
+  const auto jobs = generate_swim_trace(config);
+  const double span = jobs.back().arrival.to_seconds();
+  EXPECT_NEAR(span / static_cast<double>(jobs.size() - 1), 4.0, 0.4);
+}
+
+TEST(SwimTrace, DeterministicForSeed) {
+  const auto a = generate_swim_trace(SwimConfig{});
+  const auto b = generate_swim_trace(SwimConfig{});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].input, b[i].input);
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+  }
+}
+
+TEST(SwimTrace, SeedChangesTrace) {
+  SwimConfig other;
+  other.seed = 99;
+  const auto a = generate_swim_trace(SwimConfig{});
+  const auto b = generate_swim_trace(other);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].input != b[i].input) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SwimTrace, RatiosAreSane) {
+  for (const auto& job : generate_swim_trace(SwimConfig{})) {
+    EXPECT_GE(job.shuffle_ratio, 0.0);
+    EXPECT_LE(job.shuffle_ratio, 1.0);
+    EXPECT_GE(job.output_ratio, 0.0);
+    EXPECT_LE(job.output_ratio, job.shuffle_ratio + 1e-12);
+    EXPECT_GT(job.input, 0);
+  }
+}
+
+TEST(SwimComputeModel, ReduceCountScalesWithShuffle) {
+  SwimJob none{64 * kMiB, 0.0, 0.0, Duration::zero()};
+  EXPECT_EQ(swim_compute_model(none).reduce_tasks, 0);
+  SwimJob big{10 * kGiB, 1.0, 0.5, Duration::zero()};
+  EXPECT_GT(swim_compute_model(big).reduce_tasks, 1);
+  EXPECT_LE(swim_compute_model(big).reduce_tasks, 16);
+}
+
+TEST(SwimWorkload, MaterializesOnTestbed) {
+  TestbedConfig tb_config;
+  tb_config.cluster.node_count = 4;
+  Testbed testbed(tb_config);
+  SwimConfig config;
+  config.job_count = 10;
+  config.total_input = 1 * kGiB;
+  config.tail_max = 512 * kMiB;
+  const auto jobs = build_swim_workload(testbed, config);
+  ASSERT_EQ(jobs.size(), 10u);
+  for (const auto& job : jobs) {
+    ASSERT_EQ(job.spec.inputs.size(), 1u);
+    EXPECT_GT(testbed.namenode().file(job.spec.inputs[0]).size, 0);
+  }
+  EXPECT_EQ(testbed.namenode().file_count(), 10u);
+}
+
+}  // namespace
+}  // namespace ignem
