@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_replicas.dir/bench_ablation_replicas.cc.o"
+  "CMakeFiles/bench_ablation_replicas.dir/bench_ablation_replicas.cc.o.d"
+  "bench_ablation_replicas"
+  "bench_ablation_replicas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_replicas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

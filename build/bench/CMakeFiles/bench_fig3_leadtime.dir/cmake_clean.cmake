@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_leadtime.dir/bench_fig3_leadtime.cc.o"
+  "CMakeFiles/bench_fig3_leadtime.dir/bench_fig3_leadtime.cc.o.d"
+  "bench_fig3_leadtime"
+  "bench_fig3_leadtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_leadtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

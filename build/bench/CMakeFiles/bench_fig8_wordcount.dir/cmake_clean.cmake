@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_wordcount.dir/bench_fig8_wordcount.cc.o"
+  "CMakeFiles/bench_fig8_wordcount.dir/bench_fig8_wordcount.cc.o.d"
+  "bench_fig8_wordcount"
+  "bench_fig8_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

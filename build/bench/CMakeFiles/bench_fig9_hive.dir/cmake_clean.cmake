@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_hive.dir/bench_fig9_hive.cc.o"
+  "CMakeFiles/bench_fig9_hive.dir/bench_fig9_hive.cc.o.d"
+  "bench_fig9_hive"
+  "bench_fig9_hive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_hive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_microkernel.dir/bench_microkernel.cc.o"
+  "CMakeFiles/bench_microkernel.dir/bench_microkernel.cc.o.d"
+  "bench_microkernel"
+  "bench_microkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_microkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_motivation_stages.dir/bench_motivation_stages.cc.o"
+  "CMakeFiles/bench_motivation_stages.dir/bench_motivation_stages.cc.o.d"
+  "bench_motivation_stages"
+  "bench_motivation_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motivation_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

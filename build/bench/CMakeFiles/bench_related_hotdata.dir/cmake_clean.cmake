@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_hotdata.dir/bench_related_hotdata.cc.o"
+  "CMakeFiles/bench_related_hotdata.dir/bench_related_hotdata.cc.o.d"
+  "bench_related_hotdata"
+  "bench_related_hotdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_hotdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

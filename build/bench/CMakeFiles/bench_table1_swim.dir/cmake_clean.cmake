@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_swim.dir/bench_table1_swim.cc.o"
+  "CMakeFiles/bench_table1_swim.dir/bench_table1_swim.cc.o.d"
+  "bench_table1_swim"
+  "bench_table1_swim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_swim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

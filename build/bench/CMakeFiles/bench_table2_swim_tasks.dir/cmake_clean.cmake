@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_swim_tasks.dir/bench_table2_swim_tasks.cc.o"
+  "CMakeFiles/bench_table2_swim_tasks.dir/bench_table2_swim_tasks.cc.o.d"
+  "bench_table2_swim_tasks"
+  "bench_table2_swim_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_swim_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

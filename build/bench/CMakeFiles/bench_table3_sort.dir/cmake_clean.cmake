@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_sort.dir/bench_table3_sort.cc.o"
+  "CMakeFiles/bench_table3_sort.dir/bench_table3_sort.cc.o.d"
+  "bench_table3_sort"
+  "bench_table3_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ignem_cluster.dir/resource_manager.cc.o"
+  "CMakeFiles/ignem_cluster.dir/resource_manager.cc.o.d"
+  "libignem_cluster.a"
+  "libignem_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ignem_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ignem_common.dir/histogram.cc.o"
+  "CMakeFiles/ignem_common.dir/histogram.cc.o.d"
+  "CMakeFiles/ignem_common.dir/logging.cc.o"
+  "CMakeFiles/ignem_common.dir/logging.cc.o.d"
+  "CMakeFiles/ignem_common.dir/rng.cc.o"
+  "CMakeFiles/ignem_common.dir/rng.cc.o.d"
+  "CMakeFiles/ignem_common.dir/stats.cc.o"
+  "CMakeFiles/ignem_common.dir/stats.cc.o.d"
+  "CMakeFiles/ignem_common.dir/units.cc.o"
+  "CMakeFiles/ignem_common.dir/units.cc.o.d"
+  "libignem_common.a"
+  "libignem_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ignem_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

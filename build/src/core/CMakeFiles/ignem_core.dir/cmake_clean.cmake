@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ignem_core.dir/baselines.cc.o"
+  "CMakeFiles/ignem_core.dir/baselines.cc.o.d"
+  "CMakeFiles/ignem_core.dir/hot_data.cc.o"
+  "CMakeFiles/ignem_core.dir/hot_data.cc.o.d"
+  "CMakeFiles/ignem_core.dir/ignem_master.cc.o"
+  "CMakeFiles/ignem_core.dir/ignem_master.cc.o.d"
+  "CMakeFiles/ignem_core.dir/ignem_slave.cc.o"
+  "CMakeFiles/ignem_core.dir/ignem_slave.cc.o.d"
+  "CMakeFiles/ignem_core.dir/migration_queue.cc.o"
+  "CMakeFiles/ignem_core.dir/migration_queue.cc.o.d"
+  "CMakeFiles/ignem_core.dir/testbed.cc.o"
+  "CMakeFiles/ignem_core.dir/testbed.cc.o.d"
+  "libignem_core.a"
+  "libignem_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ignem_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ignem_dfs.dir/datanode.cc.o"
+  "CMakeFiles/ignem_dfs.dir/datanode.cc.o.d"
+  "CMakeFiles/ignem_dfs.dir/dfs_client.cc.o"
+  "CMakeFiles/ignem_dfs.dir/dfs_client.cc.o.d"
+  "CMakeFiles/ignem_dfs.dir/namenode.cc.o"
+  "CMakeFiles/ignem_dfs.dir/namenode.cc.o.d"
+  "CMakeFiles/ignem_dfs.dir/replication_manager.cc.o"
+  "CMakeFiles/ignem_dfs.dir/replication_manager.cc.o.d"
+  "libignem_dfs.a"
+  "libignem_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ignem_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ignem_mapreduce.dir/job_runner.cc.o"
+  "CMakeFiles/ignem_mapreduce.dir/job_runner.cc.o.d"
+  "libignem_mapreduce.a"
+  "libignem_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ignem_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ignem_metrics.dir/csv_export.cc.o"
+  "CMakeFiles/ignem_metrics.dir/csv_export.cc.o.d"
+  "CMakeFiles/ignem_metrics.dir/run_metrics.cc.o"
+  "CMakeFiles/ignem_metrics.dir/run_metrics.cc.o.d"
+  "CMakeFiles/ignem_metrics.dir/table.cc.o"
+  "CMakeFiles/ignem_metrics.dir/table.cc.o.d"
+  "libignem_metrics.a"
+  "libignem_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ignem_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

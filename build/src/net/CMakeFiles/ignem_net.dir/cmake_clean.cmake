@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ignem_net.dir/network.cc.o"
+  "CMakeFiles/ignem_net.dir/network.cc.o.d"
+  "libignem_net.a"
+  "libignem_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ignem_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ignem_sim.dir/event_queue.cc.o"
+  "CMakeFiles/ignem_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/ignem_sim.dir/simulator.cc.o"
+  "CMakeFiles/ignem_sim.dir/simulator.cc.o.d"
+  "libignem_sim.a"
+  "libignem_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ignem_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

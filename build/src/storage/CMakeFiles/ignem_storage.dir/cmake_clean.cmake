@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ignem_storage.dir/bandwidth_resource.cc.o"
+  "CMakeFiles/ignem_storage.dir/bandwidth_resource.cc.o.d"
+  "CMakeFiles/ignem_storage.dir/buffer_cache.cc.o"
+  "CMakeFiles/ignem_storage.dir/buffer_cache.cc.o.d"
+  "CMakeFiles/ignem_storage.dir/device.cc.o"
+  "CMakeFiles/ignem_storage.dir/device.cc.o.d"
+  "libignem_storage.a"
+  "libignem_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ignem_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ignem_trace.dir/disk_util.cc.o"
+  "CMakeFiles/ignem_trace.dir/disk_util.cc.o.d"
+  "CMakeFiles/ignem_trace.dir/leadtime.cc.o"
+  "CMakeFiles/ignem_trace.dir/leadtime.cc.o.d"
+  "libignem_trace.a"
+  "libignem_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ignem_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

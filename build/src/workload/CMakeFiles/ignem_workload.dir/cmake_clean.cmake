@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ignem_workload.dir/google_trace.cc.o"
+  "CMakeFiles/ignem_workload.dir/google_trace.cc.o.d"
+  "CMakeFiles/ignem_workload.dir/hive.cc.o"
+  "CMakeFiles/ignem_workload.dir/hive.cc.o.d"
+  "CMakeFiles/ignem_workload.dir/standalone.cc.o"
+  "CMakeFiles/ignem_workload.dir/standalone.cc.o.d"
+  "CMakeFiles/ignem_workload.dir/swim.cc.o"
+  "CMakeFiles/ignem_workload.dir/swim.cc.o.d"
+  "libignem_workload.a"
+  "libignem_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ignem_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_cache_test.dir/buffer_cache_test.cc.o"
+  "CMakeFiles/buffer_cache_test.dir/buffer_cache_test.cc.o.d"
+  "buffer_cache_test"
+  "buffer_cache_test.pdb"
+  "buffer_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

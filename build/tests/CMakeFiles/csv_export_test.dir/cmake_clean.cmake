@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_export_test.dir/csv_export_test.cc.o"
+  "CMakeFiles/csv_export_test.dir/csv_export_test.cc.o.d"
+  "csv_export_test"
+  "csv_export_test.pdb"
+  "csv_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

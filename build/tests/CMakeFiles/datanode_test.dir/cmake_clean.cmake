@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datanode_test.dir/datanode_test.cc.o"
+  "CMakeFiles/datanode_test.dir/datanode_test.cc.o.d"
+  "datanode_test"
+  "datanode_test.pdb"
+  "datanode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datanode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

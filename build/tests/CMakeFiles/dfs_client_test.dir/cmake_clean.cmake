@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_client_test.dir/dfs_client_test.cc.o"
+  "CMakeFiles/dfs_client_test.dir/dfs_client_test.cc.o.d"
+  "dfs_client_test"
+  "dfs_client_test.pdb"
+  "dfs_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

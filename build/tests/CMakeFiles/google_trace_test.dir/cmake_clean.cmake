@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/google_trace_test.dir/google_trace_test.cc.o"
+  "CMakeFiles/google_trace_test.dir/google_trace_test.cc.o.d"
+  "google_trace_test"
+  "google_trace_test.pdb"
+  "google_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/google_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

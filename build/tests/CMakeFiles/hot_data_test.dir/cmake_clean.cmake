@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_data_test.dir/hot_data_test.cc.o"
+  "CMakeFiles/hot_data_test.dir/hot_data_test.cc.o.d"
+  "hot_data_test"
+  "hot_data_test.pdb"
+  "hot_data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

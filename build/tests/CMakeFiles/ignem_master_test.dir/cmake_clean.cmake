@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ignem_master_test.dir/ignem_master_test.cc.o"
+  "CMakeFiles/ignem_master_test.dir/ignem_master_test.cc.o.d"
+  "ignem_master_test"
+  "ignem_master_test.pdb"
+  "ignem_master_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ignem_master_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ignem_slave_test.dir/ignem_slave_test.cc.o"
+  "CMakeFiles/ignem_slave_test.dir/ignem_slave_test.cc.o.d"
+  "ignem_slave_test"
+  "ignem_slave_test.pdb"
+  "ignem_slave_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ignem_slave_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_queue_test.dir/migration_queue_test.cc.o"
+  "CMakeFiles/migration_queue_test.dir/migration_queue_test.cc.o.d"
+  "migration_queue_test"
+  "migration_queue_test.pdb"
+  "migration_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namenode_test.dir/namenode_test.cc.o"
+  "CMakeFiles/namenode_test.dir/namenode_test.cc.o.d"
+  "namenode_test"
+  "namenode_test.pdb"
+  "namenode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namenode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

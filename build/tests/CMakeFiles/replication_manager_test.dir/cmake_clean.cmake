@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replication_manager_test.dir/replication_manager_test.cc.o"
+  "CMakeFiles/replication_manager_test.dir/replication_manager_test.cc.o.d"
+  "replication_manager_test"
+  "replication_manager_test.pdb"
+  "replication_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replication_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

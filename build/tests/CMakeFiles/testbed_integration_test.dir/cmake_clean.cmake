@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testbed_integration_test.dir/testbed_integration_test.cc.o"
+  "CMakeFiles/testbed_integration_test.dir/testbed_integration_test.cc.o.d"
+  "testbed_integration_test"
+  "testbed_integration_test.pdb"
+  "testbed_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testbed_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_swim_test.dir/workload_swim_test.cc.o"
+  "CMakeFiles/workload_swim_test.dir/workload_swim_test.cc.o.d"
+  "workload_swim_test"
+  "workload_swim_test.pdb"
+  "workload_swim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_swim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

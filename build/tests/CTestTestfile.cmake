@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_units_test[1]_include.cmake")
+include("/root/repo/build/tests/common_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/common_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/common_histogram_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/bandwidth_test[1]_include.cmake")
+include("/root/repo/build/tests/device_test[1]_include.cmake")
+include("/root/repo/build/tests/buffer_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/network_test[1]_include.cmake")
+include("/root/repo/build/tests/namenode_test[1]_include.cmake")
+include("/root/repo/build/tests/datanode_test[1]_include.cmake")
+include("/root/repo/build/tests/dfs_client_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/mapreduce_test[1]_include.cmake")
+include("/root/repo/build/tests/migration_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/ignem_slave_test[1]_include.cmake")
+include("/root/repo/build/tests/ignem_master_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/testbed_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_swim_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_hive_test[1]_include.cmake")
+include("/root/repo/build/tests/google_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/replication_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_export_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/hot_data_test[1]_include.cmake")
