@@ -8,6 +8,8 @@
 // macro experiments — Tables I-III and Figs. 5-9 are emergent.
 #pragma once
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -16,6 +18,26 @@
 #include "workload/swim.h"
 
 namespace ignem::bench {
+
+/// Benches record a full event trace when IGNEM_TRACE_OUT=<path> is set;
+/// maybe_dump_trace() writes it as JSONL after the run (docs/TRACING.md).
+inline bool trace_requested() {
+  const char* path = std::getenv("IGNEM_TRACE_OUT");
+  return path != nullptr && *path != '\0';
+}
+
+inline void maybe_dump_trace(Testbed& testbed) {
+  if (!trace_requested() || testbed.trace() == nullptr) return;
+  const char* path = std::getenv("IGNEM_TRACE_OUT");
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    std::cerr << "[trace] cannot open " << path << "\n";
+    return;
+  }
+  testbed.trace()->write_jsonl(out);
+  std::cout << "[trace] " << testbed.trace()->size() << " events -> " << path
+            << " (hash " << testbed.trace_hash() << ")\n";
+}
 
 /// The paper's 8-server cluster (§IV-A).
 inline TestbedConfig paper_testbed(RunMode mode,
@@ -35,6 +57,7 @@ inline TestbedConfig paper_testbed(RunMode mode,
   config.replication = 3;
   config.block_size = 64 * kMiB;
   config.seed = 42;
+  config.enable_trace = trace_requested();
   return config;
 }
 
@@ -47,6 +70,7 @@ inline std::unique_ptr<Testbed> run_swim(RunMode mode,
                                          MediaType media = MediaType::kHdd) {
   auto testbed = std::make_unique<Testbed>(paper_testbed(mode, media));
   testbed->run_workload(build_swim_workload(*testbed, paper_swim()));
+  maybe_dump_trace(*testbed);
   return testbed;
 }
 

@@ -207,11 +207,12 @@ bench/CMakeFiles/bench_microkernel.dir/bench_microkernel.cc.o: \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /root/repo/src/common/units.h \
  /root/repo/src/core/ignem_config.h \
- /root/repo/src/dfs/migration_service.h /root/repo/src/sim/simulator.h \
- /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/dfs/migration_service.h \
+ /root/repo/src/obs/trace_recorder.h /root/repo/src/obs/trace_event.h \
+ /root/repo/src/sim/simulator.h /root/repo/src/sim/event_queue.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/storage/bandwidth_resource.h \
  /root/repo/src/common/check.h /usr/include/c++/12/sstream \

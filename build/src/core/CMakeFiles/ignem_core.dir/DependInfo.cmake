@@ -26,6 +26,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/metrics/CMakeFiles/ignem_metrics.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/ignem_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/ignem_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/ignem_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

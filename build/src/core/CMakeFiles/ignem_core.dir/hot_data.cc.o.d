@@ -214,6 +214,7 @@ src/core/CMakeFiles/ignem_core.dir/hot_data.cc.o: \
  /root/repo/src/common/check.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/simulator.h \
+ /root/repo/src/obs/trace_recorder.h /root/repo/src/obs/trace_event.h \
  /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \

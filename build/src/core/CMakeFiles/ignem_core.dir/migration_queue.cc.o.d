@@ -177,7 +177,8 @@ src/core/CMakeFiles/ignem_core.dir/migration_queue.cc.o: \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /root/repo/src/common/units.h \
  /root/repo/src/core/ignem_config.h \
- /root/repo/src/dfs/migration_service.h /root/repo/src/common/check.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/dfs/migration_service.h \
+ /root/repo/src/obs/trace_recorder.h /root/repo/src/obs/trace_event.h \
+ /root/repo/src/common/check.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/invariant_checker.cc" "src/obs/CMakeFiles/ignem_obs.dir/invariant_checker.cc.o" "gcc" "src/obs/CMakeFiles/ignem_obs.dir/invariant_checker.cc.o.d"
+  "/root/repo/src/obs/trace_diff.cc" "src/obs/CMakeFiles/ignem_obs.dir/trace_diff.cc.o" "gcc" "src/obs/CMakeFiles/ignem_obs.dir/trace_diff.cc.o.d"
+  "/root/repo/src/obs/trace_recorder.cc" "src/obs/CMakeFiles/ignem_obs.dir/trace_recorder.cc.o" "gcc" "src/obs/CMakeFiles/ignem_obs.dir/trace_recorder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ignem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

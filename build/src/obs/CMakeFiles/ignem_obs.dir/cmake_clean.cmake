@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ignem_obs.dir/invariant_checker.cc.o"
+  "CMakeFiles/ignem_obs.dir/invariant_checker.cc.o.d"
+  "CMakeFiles/ignem_obs.dir/trace_diff.cc.o"
+  "CMakeFiles/ignem_obs.dir/trace_diff.cc.o.d"
+  "CMakeFiles/ignem_obs.dir/trace_recorder.cc.o"
+  "CMakeFiles/ignem_obs.dir/trace_recorder.cc.o.d"
+  "libignem_obs.a"
+  "libignem_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ignem_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libignem_obs.a"
+)

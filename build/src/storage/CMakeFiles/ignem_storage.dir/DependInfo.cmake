@@ -17,6 +17,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/sim/CMakeFiles/ignem_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/ignem_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/ignem_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -174,7 +174,8 @@ src/storage/CMakeFiles/ignem_storage.dir/buffer_cache.cc.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/common/units.h /usr/include/c++/12/algorithm \
+ /root/repo/src/common/units.h /root/repo/src/obs/trace_recorder.h \
+ /root/repo/src/obs/trace_event.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \

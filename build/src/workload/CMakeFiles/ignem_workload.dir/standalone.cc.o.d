@@ -220,7 +220,8 @@ src/workload/CMakeFiles/ignem_workload.dir/standalone.cc.o: \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/periodic.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/sim/simulator.h /root/repo/src/sim/event_queue.h \
+ /root/repo/src/sim/simulator.h /root/repo/src/obs/trace_recorder.h \
+ /root/repo/src/obs/trace_event.h /root/repo/src/sim/event_queue.h \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/common/rng.h /root/repo/src/core/baselines.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
@@ -239,7 +240,8 @@ src/workload/CMakeFiles/ignem_workload.dir/standalone.cc.o: \
  /root/repo/src/metrics/run_metrics.h /root/repo/src/common/stats.h \
  /usr/include/c++/12/cstddef /root/repo/src/net/network.h \
  /root/repo/src/mapreduce/job_runner.h \
- /root/repo/src/mapreduce/job_spec.h /usr/include/c++/12/algorithm \
+ /root/repo/src/mapreduce/job_spec.h \
+ /root/repo/src/obs/invariant_checker.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -174,7 +174,8 @@ tests/CMakeFiles/buffer_cache_test.dir/buffer_cache_test.cc.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/common/units.h /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/common/units.h /root/repo/src/obs/trace_recorder.h \
+ /root/repo/src/obs/trace_event.h /root/miniconda/include/gtest/gtest.h \
  /usr/include/c++/12/cstddef /usr/include/c++/12/limits \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \

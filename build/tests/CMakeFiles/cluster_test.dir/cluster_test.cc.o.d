@@ -221,6 +221,7 @@ tests/CMakeFiles/cluster_test.dir/cluster_test.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/units.h \
  /root/repo/src/sim/periodic.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/simulator.h \
+ /root/repo/src/obs/trace_recorder.h /root/repo/src/obs/trace_event.h \
  /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \

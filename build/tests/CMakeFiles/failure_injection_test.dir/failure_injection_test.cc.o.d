@@ -300,7 +300,8 @@ tests/CMakeFiles/failure_injection_test.dir/failure_injection_test.cc.o: \
  /root/repo/src/cluster/job_liveness.h /root/repo/src/common/ids.h \
  /root/repo/src/cluster/node_manager.h /root/repo/src/common/check.h \
  /root/repo/src/common/units.h /root/repo/src/sim/periodic.h \
- /root/repo/src/sim/simulator.h /root/repo/src/sim/event_queue.h \
+ /root/repo/src/sim/simulator.h /root/repo/src/obs/trace_recorder.h \
+ /root/repo/src/obs/trace_event.h /root/repo/src/sim/event_queue.h \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/common/rng.h /root/repo/src/core/baselines.h \
  /root/repo/src/dfs/migration_service.h /root/repo/src/dfs/namenode.h \
@@ -314,4 +315,5 @@ tests/CMakeFiles/failure_injection_test.dir/failure_injection_test.cc.o: \
  /root/repo/src/dfs/dfs_client.h /root/repo/src/metrics/run_metrics.h \
  /root/repo/src/common/stats.h /root/repo/src/net/network.h \
  /root/repo/src/mapreduce/job_runner.h \
- /root/repo/src/mapreduce/job_spec.h /root/repo/src/workload/swim.h
+ /root/repo/src/mapreduce/job_spec.h \
+ /root/repo/src/obs/invariant_checker.h /root/repo/src/workload/swim.h

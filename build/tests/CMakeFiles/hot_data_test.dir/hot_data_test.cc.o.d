@@ -214,6 +214,7 @@ tests/CMakeFiles/hot_data_test.dir/hot_data_test.cc.o: \
  /root/repo/src/common/check.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/simulator.h \
+ /root/repo/src/obs/trace_recorder.h /root/repo/src/obs/trace_event.h \
  /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
@@ -312,5 +313,6 @@ tests/CMakeFiles/hot_data_test.dir/hot_data_test.cc.o: \
  /root/repo/src/dfs/dfs_client.h /root/repo/src/metrics/run_metrics.h \
  /root/repo/src/common/stats.h /root/repo/src/net/network.h \
  /root/repo/src/mapreduce/job_runner.h \
- /root/repo/src/mapreduce/job_spec.h /root/repo/src/workload/standalone.h \
- /root/repo/src/workload/swim.h
+ /root/repo/src/mapreduce/job_spec.h \
+ /root/repo/src/obs/invariant_checker.h \
+ /root/repo/src/workload/standalone.h /root/repo/src/workload/swim.h

@@ -184,8 +184,9 @@ tests/CMakeFiles/ignem_master_test.dir/ignem_master_test.cc.o: \
  /root/repo/src/core/migration_queue.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
- /root/repo/src/dfs/migration_service.h /root/repo/src/dfs/datanode.h \
- /usr/include/c++/12/memory \
+ /root/repo/src/dfs/migration_service.h \
+ /root/repo/src/obs/trace_recorder.h /root/repo/src/obs/trace_event.h \
+ /root/repo/src/dfs/datanode.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \

@@ -221,6 +221,7 @@ tests/CMakeFiles/mapreduce_test.dir/mapreduce_test.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/units.h \
  /root/repo/src/sim/periodic.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/simulator.h \
+ /root/repo/src/obs/trace_recorder.h /root/repo/src/obs/trace_event.h \
  /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/dfs/dfs_client.h \
  /root/repo/src/dfs/migration_service.h /root/repo/src/dfs/namenode.h \
@@ -314,4 +315,5 @@ tests/CMakeFiles/mapreduce_test.dir/mapreduce_test.cc.o: \
  /root/repo/src/core/hot_data.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/core/ignem_config.h /root/repo/src/core/ignem_master.h \
- /root/repo/src/core/ignem_slave.h /root/repo/src/core/migration_queue.h
+ /root/repo/src/core/ignem_slave.h /root/repo/src/core/migration_queue.h \
+ /root/repo/src/obs/invariant_checker.h

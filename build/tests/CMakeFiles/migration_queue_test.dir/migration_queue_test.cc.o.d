@@ -178,6 +178,7 @@ tests/CMakeFiles/migration_queue_test.dir/migration_queue_test.cc.o: \
  /usr/include/c++/12/bits/ostream.tcc /root/repo/src/common/units.h \
  /root/repo/src/core/ignem_config.h \
  /root/repo/src/dfs/migration_service.h \
+ /root/repo/src/obs/trace_recorder.h /root/repo/src/obs/trace_event.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/limits /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs_test.cc" "tests/CMakeFiles/obs_test.dir/obs_test.cc.o" "gcc" "tests/CMakeFiles/obs_test.dir/obs_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/ignem_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ignem_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ignem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/ignem_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ignem_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/ignem_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ignem_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ignem_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ignem_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ignem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/ignem_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ignem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -219,6 +219,7 @@ tests/CMakeFiles/replication_manager_test.dir/replication_manager_test.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/simulator.h \
+ /root/repo/src/obs/trace_recorder.h /root/repo/src/obs/trace_event.h \
  /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h \

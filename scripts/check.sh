@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full correctness gate: build the whole tree with AddressSanitizer +
+# UndefinedBehaviorSanitizer and run the complete test suite.
+#
+#   scripts/check.sh            # sanitized build + all tests
+#   scripts/check.sh tier1      # sanitized build + fast tier only
+#
+# Uses a dedicated build directory (build-check) so the regular build stays
+# untouched. See docs/TRACING.md for the determinism/invariant suites this
+# gates on.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-check
+LABEL="${1:-}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DIGNEM_SANITIZE=address,undefined
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+CTEST_ARGS=(--output-on-failure -j "$(nproc)")
+if [[ -n "$LABEL" ]]; then
+  CTEST_ARGS+=(-L "$LABEL")
+fi
+
+ctest --test-dir "$BUILD_DIR" "${CTEST_ARGS[@]}"
+echo "check.sh: all tests passed under ASan/UBSan"

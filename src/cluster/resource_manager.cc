@@ -28,9 +28,19 @@ ResourceManager::ResourceManager(Simulator& sim, ClusterConfig config)
 void ResourceManager::register_job(JobId job) {
   IGNEM_CHECK(job.valid());
   running_jobs_.insert(job);
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kJobRegister, NodeId::invalid(),
+                 BlockId::invalid(), job);
+  }
 }
 
-void ResourceManager::complete_job(JobId job) { running_jobs_.erase(job); }
+void ResourceManager::complete_job(JobId job) {
+  running_jobs_.erase(job);
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kJobComplete, NodeId::invalid(),
+                 BlockId::invalid(), job);
+  }
+}
 
 bool ResourceManager::is_job_running(JobId job) const {
   return running_jobs_.contains(job);
@@ -43,6 +53,7 @@ void ResourceManager::request_container(ContainerRequest request) {
 
 void ResourceManager::release_container(NodeId node) {
   node_manager(node).release();
+  if (trace_ != nullptr) trace_->emit(TraceEventType::kContainerRelease, node);
 }
 
 void ResourceManager::set_node_alive(NodeId node, bool alive) {
@@ -95,6 +106,10 @@ void ResourceManager::on_heartbeat(NodeId node) {
       }
       if (unpreferred) --unpreferred_budget;
       manager.allocate();
+      if (trace_ != nullptr) {
+        trace_->emit(TraceEventType::kContainerAllocate, node,
+                     BlockId::invalid(), it->request.job);
+      }
       auto on_allocated = std::move(it->request.on_allocated);
       it = queue_.erase(it);
       // Container launch overhead (binary shipping + JVM warm-up) before the

@@ -70,12 +70,16 @@ class ResourceManager : public JobLivenessOracle {
   /// Mean number of requests waiting, sampled at heartbeats (diagnostics).
   double mean_queue_length() const;
 
+  /// Emits kJobRegister/kJobComplete and kContainerAllocate/Release.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
  private:
   void on_heartbeat(NodeId node);
   bool prefers(const ContainerRequest& request, NodeId node) const;
 
   Simulator& sim_;
   ClusterConfig config_;
+  TraceRecorder* trace_ = nullptr;
   std::vector<std::unique_ptr<NodeManager>> nodes_;
   std::vector<std::unique_ptr<PeriodicTask>> heartbeats_;
 

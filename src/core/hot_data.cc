@@ -21,6 +21,11 @@ void HotDataPromoter::on_block_read(NodeId node, BlockId block, JobId) {
   if (count < config_.promote_threshold) return;
   if (promotion_in_flight_[block]) return;
   promotion_in_flight_[block] = true;
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kHotPromote, datanode_.id(), block,
+                 JobId::invalid(), datanode_.block_size(block), count,
+                 static_cast<double>(config_.promote_threshold));
+  }
   promote(block, datanode_.block_size(block));
 }
 

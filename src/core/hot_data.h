@@ -48,6 +48,10 @@ class HotDataPromoter : public BlockReadListener {
   const HotDataStats& stats() const { return stats_; }
   bool promoted(BlockId block) const { return lru_index_.contains(block); }
 
+  /// Emits kHotPromote (detail=observed reads, value=threshold) on each
+  /// promotion decision.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
  private:
   void promote(BlockId block, Bytes bytes);
   void touch(BlockId block);
@@ -56,6 +60,7 @@ class HotDataPromoter : public BlockReadListener {
   Simulator& sim_;
   DataNode& datanode_;
   HotDataConfig config_;
+  TraceRecorder* trace_ = nullptr;
 
   std::unordered_map<BlockId, int> access_counts_;
   std::list<BlockId> lru_;  // front = most recent

@@ -28,6 +28,14 @@ void IgnemMaster::request(const MigrationRequest& request) {
 
 void IgnemMaster::process(const MigrationRequest& request) {
   ++stats_.requests;
+  if (trace_ != nullptr) {
+    trace_->emit(request.op == MigrationOp::kMigrate
+                     ? TraceEventType::kMigrateRequest
+                     : TraceEventType::kEvictRequest,
+                 NodeId::invalid(), BlockId::invalid(), request.job,
+                 request.job_input_bytes,
+                 static_cast<std::int64_t>(request.files.size()));
+  }
   switch (request.op) {
     case MigrationOp::kMigrate:
       do_migrate(request);

@@ -61,6 +61,9 @@ class IgnemMaster : public MigrationService {
   /// Where the master sent `job`'s migrate command for `block`, if any.
   NodeId chosen_replica(JobId job, BlockId block) const;
 
+  /// Emits kMigrateRequest/kEvictRequest when client RPCs are processed.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
  private:
   void process(const MigrationRequest& request);
   void do_migrate(const MigrationRequest& request);
@@ -70,6 +73,7 @@ class IgnemMaster : public MigrationService {
   NameNode& namenode_;
   IgnemConfig config_;
   Rng rng_;
+  TraceRecorder* trace_ = nullptr;
   std::vector<IgnemSlave*> slaves_;
   bool failed_ = false;
 

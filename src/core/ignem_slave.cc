@@ -91,6 +91,10 @@ void IgnemSlave::maybe_start() {
     // the page-in completes (commit in on_migration_complete).
     IGNEM_CHECK(cache.reserve(state.bytes));
     state.phase = Phase::kMigrating;
+    if (trace_ != nullptr) {
+      trace_->emit(TraceEventType::kMigrationStart, datanode_.id(), m.block,
+                   m.job, state.bytes);
+    }
     const SimTime started = sim_.now();
     const TransferHandle transfer = datanode_.primary_device().read(
         state.bytes, [this, block = m.block, bytes = state.bytes, started] {
@@ -117,6 +121,10 @@ void IgnemSlave::on_migration_complete(BlockId block, Bytes bytes) {
   current_.reset();
   ++stats_.migrations_completed;
   stats_.bytes_migrated += bytes;
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kMigrationComplete, datanode_.id(), block,
+                 JobId::invalid(), bytes);
+  }
   const auto it = blocks_.find(block);
   IGNEM_CHECK(it != blocks_.end());
   datanode_.cache().commit_reservation(block, bytes);
@@ -161,6 +169,10 @@ void IgnemSlave::drop_block(BlockId block) {
     case Phase::kInMemory:
       datanode_.cache().unlock(block);
       ++stats_.evictions;
+      if (trace_ != nullptr) {
+        trace_->emit(TraceEventType::kEviction, datanode_.id(), block,
+                     JobId::invalid(), it->second.bytes);
+      }
       break;
     case Phase::kMigrating:
       // Never reached: callers defer to on_migration_complete.
@@ -216,12 +228,21 @@ void IgnemSlave::on_master_failure() {
   if (current_.has_value()) {
     datanode_.primary_device().abort(current_->transfer);
     datanode_.cache().cancel_reservation(current_->bytes);
+    if (trace_ != nullptr) {
+      // detail=1 marks an aborted (not finished) migration.
+      trace_->emit(TraceEventType::kMigrationComplete, datanode_.id(),
+                   current_->block, JobId::invalid(), current_->bytes, 1);
+    }
     current_.reset();
   }
   for (const auto& [block, state] : blocks_) {
     if (state.phase == Phase::kInMemory) {
       datanode_.cache().unlock(block);
       ++stats_.evictions;
+      if (trace_ != nullptr) {
+        trace_->emit(TraceEventType::kEviction, datanode_.id(), block,
+                     JobId::invalid(), state.bytes);
+      }
     }
   }
   blocks_.clear();
@@ -239,6 +260,10 @@ void IgnemSlave::reset() {
     // fail), the reservation must still be returned.
     if (datanode_.cache().reserved() >= current_->bytes) {
       datanode_.cache().cancel_reservation(current_->bytes);
+    }
+    if (trace_ != nullptr) {
+      trace_->emit(TraceEventType::kMigrationComplete, datanode_.id(),
+                   current_->block, JobId::invalid(), current_->bytes, 1);
     }
     current_.reset();
   }

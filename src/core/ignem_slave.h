@@ -77,6 +77,13 @@ class IgnemSlave : public BlockReadListener {
   /// True when `block` is memory-resident with a non-empty reference list.
   bool holds(BlockId block) const;
 
+  /// Emits kMigrationStart/kMigrationComplete/kEviction and wires the
+  /// underlying queue's enqueue/dequeue/drop events.
+  void set_trace(TraceRecorder* trace) {
+    trace_ = trace;
+    queue_.set_trace(trace, datanode_.id());
+  }
+
  private:
   enum class Phase { kQueued, kMigrating, kInMemory };
 
@@ -104,6 +111,7 @@ class IgnemSlave : public BlockReadListener {
   DataNode& datanode_;
   IgnemConfig config_;
   const JobLivenessOracle* liveness_;
+  TraceRecorder* trace_ = nullptr;
 
   MigrationQueue queue_;
   std::unordered_map<BlockId, BlockState> blocks_;

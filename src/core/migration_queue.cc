@@ -44,10 +44,21 @@ const char* migration_policy_name(MigrationPolicy policy) {
 MigrationQueue::MigrationQueue(MigrationPolicy policy)
     : entries_(Order{policy}) {}
 
+void MigrationQueue::emit(TraceEventType type, const PendingMigration& m) const {
+  if (trace_ == nullptr) return;
+  // detail = current queue depth (push/pop call this after mutating, so it
+  // is the depth after the operation; drops report the pre-erase depth).
+  trace_->emit(type, trace_node_, m.block, m.job, m.bytes,
+               static_cast<std::int64_t>(entries_.size()));
+}
+
 void MigrationQueue::push(const PendingMigration& m) {
   IGNEM_CHECK(m.block.valid() && m.job.valid() && m.bytes > 0);
   const auto [it, inserted] = entries_.insert(m);
-  if (inserted) ++block_refcount_[m.block];
+  if (inserted) {
+    ++block_refcount_[m.block];
+    emit(TraceEventType::kMigrationEnqueue, m);
+  }
 }
 
 std::optional<PendingMigration> MigrationQueue::pop() {
@@ -55,6 +66,7 @@ std::optional<PendingMigration> MigrationQueue::pop() {
   PendingMigration m = *entries_.begin();
   entries_.erase(entries_.begin());
   if (--block_refcount_[m.block] == 0) block_refcount_.erase(m.block);
+  emit(TraceEventType::kMigrationDequeue, m);
   return m;
 }
 
@@ -67,6 +79,7 @@ std::size_t MigrationQueue::erase_job(JobId job) {
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->job == job) {
       if (--block_refcount_[it->block] == 0) block_refcount_.erase(it->block);
+      emit(TraceEventType::kMigrationDrop, *it);
       it = entries_.erase(it);
       ++removed;
     } else {
@@ -80,6 +93,7 @@ std::size_t MigrationQueue::erase_block(BlockId block) {
   std::size_t removed = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->block == block) {
+      emit(TraceEventType::kMigrationDrop, *it);
       it = entries_.erase(it);
       ++removed;
     } else {
@@ -94,6 +108,7 @@ bool MigrationQueue::erase(BlockId block, JobId job) {
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if (it->block == block && it->job == job) {
       if (--block_refcount_[block] == 0) block_refcount_.erase(block);
+      emit(TraceEventType::kMigrationDrop, *it);
       entries_.erase(it);
       return true;
     }

@@ -17,6 +17,7 @@
 #include "common/units.h"
 #include "core/ignem_config.h"
 #include "dfs/migration_service.h"
+#include "obs/trace_recorder.h"
 
 namespace ignem {
 
@@ -57,7 +58,16 @@ class MigrationQueue {
   bool empty() const { return entries_.empty(); }
   std::size_t size() const { return entries_.size(); }
 
+  /// Emits kMigrationEnqueue/kMigrationDequeue/kMigrationDrop tagged with
+  /// the owning slave's node id.
+  void set_trace(TraceRecorder* trace, NodeId node) {
+    trace_ = trace;
+    trace_node_ = node;
+  }
+
  private:
+  void emit(TraceEventType type, const PendingMigration& m) const;
+
   struct Order {
     MigrationPolicy policy;
     bool operator()(const PendingMigration& a, const PendingMigration& b) const;
@@ -65,6 +75,8 @@ class MigrationQueue {
 
   std::set<PendingMigration, Order> entries_;
   std::unordered_map<BlockId, int> block_refcount_;
+  TraceRecorder* trace_ = nullptr;
+  NodeId trace_node_;
 };
 
 }  // namespace ignem

@@ -1,6 +1,7 @@
 #include "core/testbed.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/check.h"
 
@@ -22,9 +23,20 @@ Testbed::Testbed(TestbedConfig config)
   const std::size_t n = config_.cluster.node_count;
   IGNEM_CHECK(n > 0);
 
+  if (config_.enable_trace || config_.check_invariants) {
+    trace_ = std::make_unique<TraceRecorder>();
+    trace_->set_clock([this] { return sim_.now(); });
+    if (config_.check_invariants) {
+      checker_ = std::make_unique<InvariantChecker>();
+      trace_->add_observer(checker_.get());
+    }
+    sim_.set_trace(trace_.get());
+  }
+
   namenode_ = std::make_unique<NameNode>(rng_.fork(1), config_.replication,
                                          config_.block_size,
                                          config_.rack_count);
+  namenode_->set_trace(trace_.get());
   const DeviceProfile primary =
       config_.primary_profile.value_or(profile_for(config_.storage_media));
   for (std::size_t i = 0; i < n; ++i) {
@@ -32,20 +44,24 @@ Testbed::Testbed(TestbedConfig config)
     datanodes_.push_back(std::make_unique<DataNode>(
         sim_, id, primary, config_.cache_capacity_per_node,
         rng_.fork(100 + i)));
+    datanodes_.back()->set_trace(trace_.get());
     namenode_->register_datanode(datanodes_.back().get());
   }
 
   network_ = std::make_unique<Network>(sim_, n, config_.network);
   rm_ = std::make_unique<ResourceManager>(sim_, config_.cluster);
+  rm_->set_trace(trace_.get());
   dfs_ = std::make_unique<DfsClient>(sim_, *namenode_, *network_, &metrics_);
 
   switch (config_.mode) {
     case RunMode::kIgnem: {
       master_ = std::make_unique<IgnemMaster>(sim_, *namenode_, config_.ignem,
                                               rng_.fork(2));
+      master_->set_trace(trace_.get());
       for (std::size_t i = 0; i < n; ++i) {
         slaves_.push_back(std::make_unique<IgnemSlave>(
             sim_, *datanodes_[i], config_.ignem, rm_.get()));
+        slaves_.back()->set_trace(trace_.get());
         master_->register_slave(slaves_.back().get());
       }
       dfs_->set_migration_service(master_.get());
@@ -61,6 +77,7 @@ Testbed::Testbed(TestbedConfig config)
       for (std::size_t i = 0; i < n; ++i) {
         promoters_.push_back(std::make_unique<HotDataPromoter>(
             sim_, *datanodes_[i], config_.hot_data));
+        promoters_.back()->set_trace(trace_.get());
       }
       break;
     }
@@ -78,6 +95,40 @@ Testbed::Testbed(TestbedConfig config)
 }
 
 Testbed::~Testbed() = default;
+
+std::uint64_t Testbed::trace_hash() const {
+  return trace_ == nullptr ? 0 : trace_->trace_hash();
+}
+
+std::string Testbed::replica_model_mismatch() const {
+  if (checker_ == nullptr) return {};
+  const ReplicaAccountingRule* model = checker_->replica_model();
+  if (model == nullptr) return {};
+  std::ostringstream out;
+  for (const auto& [block_id, info] : namenode_->all_blocks()) {
+    if (model->replica_count(block_id) != info.replicas.size()) {
+      out << "block " << block_id.value() << ": trace saw "
+          << model->replica_count(block_id) << " replicas, NameNode has "
+          << info.replicas.size();
+      return out.str();
+    }
+    for (const NodeId node : info.replicas) {
+      if (!model->has_replica(block_id, node)) {
+        out << "block " << block_id.value() << ": NameNode replica on node "
+            << node.value() << " never appeared in the trace";
+        return out.str();
+      }
+    }
+  }
+  for (const auto& [block_id, nodes] : model->blocks()) {
+    if (!namenode_->all_blocks().contains(block_id)) {
+      out << "trace has replicas for block " << block_id.value()
+          << " unknown to the NameNode";
+      return out.str();
+    }
+  }
+  return {};
+}
 
 FileId Testbed::create_file(const std::string& path, Bytes size) {
   return namenode_->create_file(path, size);

@@ -26,6 +26,8 @@
 #include "mapreduce/job_runner.h"
 #include "metrics/run_metrics.h"
 #include "net/network.h"
+#include "obs/invariant_checker.h"
+#include "obs/trace_recorder.h"
 #include "sim/periodic.h"
 #include "sim/simulator.h"
 
@@ -63,6 +65,11 @@ struct TestbedConfig {
   std::uint64_t seed = 42;
   /// Period of the per-node migration-memory sampler (Fig. 7); zero disables.
   Duration memory_sample_period = Duration::seconds(1.0);
+  /// Records every component's typed trace events (src/obs). Off by default:
+  /// the recorder is a null pointer everywhere and emission costs one branch.
+  bool enable_trace = false;
+  /// Runs the live InvariantChecker over the trace (implies enable_trace).
+  bool check_invariants = false;
 };
 
 /// A job plus its arrival offset from workload start.
@@ -122,10 +129,26 @@ class Testbed {
   /// Allocates a fresh JobId (monotonic; submission order == id order).
   JobId next_job_id() { return JobId(next_job_++); }
 
+  /// Null unless config.enable_trace (or check_invariants) was set.
+  TraceRecorder* trace() { return trace_.get(); }
+  /// Null unless config.check_invariants was set.
+  InvariantChecker* invariant_checker() { return checker_.get(); }
+  /// Digest of the recorded trace; 0 when tracing is off.
+  std::uint64_t trace_hash() const;
+
+  /// Cross-checks the event-derived replica model against the NameNode's
+  /// block map. Returns an empty string when they agree (or when the
+  /// checker is off); otherwise a description of the first mismatch.
+  std::string replica_model_mismatch() const;
+
  private:
   void sample_memory();
 
   TestbedConfig config_;
+  // Declared before every traced component so it is destroyed after them
+  // (components hold raw TraceRecorder pointers).
+  std::unique_ptr<TraceRecorder> trace_;
+  std::unique_ptr<InvariantChecker> checker_;
   Simulator sim_;
   RunMetrics metrics_;
   Rng rng_;

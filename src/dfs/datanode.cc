@@ -17,10 +17,21 @@ DataNode::DataNode(Simulator& sim, NodeId id, DeviceProfile primary_profile,
                                          rng.fork(2));
 }
 
+void DataNode::set_trace(TraceRecorder* trace) {
+  trace_ = trace;
+  primary_->set_trace(trace, id_);
+  ram_->set_trace(trace, id_);
+  cache_.set_trace(trace, id_);
+}
+
 void DataNode::add_block(BlockId block, Bytes size) {
   IGNEM_CHECK(block.valid());
   IGNEM_CHECK(size > 0);
   blocks_[block] = size;
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kReplicaAdd, id_, block, JobId::invalid(),
+                 size);
+  }
 }
 
 Bytes DataNode::block_size(BlockId block) const {
@@ -35,11 +46,21 @@ void DataNode::read_block(BlockId block, JobId job, ReadCallback on_complete) {
   IGNEM_CHECK_MSG(alive_, "read on failed DataNode " << id_.value());
   const Bytes size = block_size(block);
   const bool from_memory = cache_.contains(block);
+  if (trace_ != nullptr) {
+    trace_->emit(from_memory ? TraceEventType::kCacheHit
+                             : TraceEventType::kCacheMiss,
+                 id_, block, job, size);
+    trace_->emit(TraceEventType::kBlockReadStart, id_, block, job, size);
+  }
   StorageDevice& device = from_memory ? *ram_ : *primary_;
   const SimTime start = sim_.now();
   device.read(size, [this, block, job, start, from_memory,
                      cb = std::move(on_complete)] {
     const BlockReadResult result{sim_.now() - start, from_memory};
+    if (trace_ != nullptr) {
+      trace_->emit(TraceEventType::kBlockReadEnd, id_, block, job,
+                   block_size(block), from_memory ? 1 : 0);
+    }
     if (listener_ != nullptr) listener_->on_block_read(id_, block, job);
     cb(result);
   });

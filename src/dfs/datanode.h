@@ -74,8 +74,13 @@ class DataNode {
 
   void set_read_listener(BlockReadListener* listener) { listener_ = listener; }
 
+  /// Emits kReplicaAdd, kBlockReadStart/End, and kCacheHit/Miss; also wires
+  /// the node's devices and locked pool into the same recorder.
+  void set_trace(TraceRecorder* trace);
+
  private:
   Simulator& sim_;
+  TraceRecorder* trace_ = nullptr;
   NodeId id_;
   std::unique_ptr<StorageDevice> primary_;
   std::unique_ptr<StorageDevice> ram_;

@@ -97,6 +97,11 @@ FileId NameNode::create_file(const std::string& path, Bytes size) {
     info.blocks.push_back(block_id);
     blocks_.emplace(block_id, std::move(block));
   }
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kFileCreate, NodeId::invalid(),
+                 BlockId::invalid(), JobId::invalid(), size,
+                 static_cast<std::int64_t>(info.blocks.size()));
+  }
   paths_.emplace(path, id);
   files_.emplace(id, std::move(info));
   return id;
@@ -149,6 +154,10 @@ void NameNode::set_node_alive(NodeId id, bool alive) {
     dead_nodes_.erase(id);
   } else {
     dead_nodes_.insert(id);
+  }
+  if (trace_ != nullptr) {
+    trace_->emit(alive ? TraceEventType::kNodeAlive : TraceEventType::kNodeDead,
+                 id);
   }
 }
 

@@ -16,6 +16,7 @@
 #include "common/units.h"
 #include "dfs/block.h"
 #include "dfs/datanode.h"
+#include "obs/trace_recorder.h"
 
 namespace ignem {
 
@@ -83,6 +84,10 @@ class NameNode {
   int rack_of(NodeId node) const;
   int rack_count() const { return rack_count_; }
 
+  /// Emits kFileCreate and kNodeDead/kNodeAlive (replica adds are emitted
+  /// node-side by the DataNodes).
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
  private:
   std::vector<NodeId> place_replicas(std::size_t count);
 
@@ -90,6 +95,7 @@ class NameNode {
   int replication_;
   Bytes block_size_;
   int rack_count_;
+  TraceRecorder* trace_ = nullptr;
 
   std::vector<DataNode*> nodes_;                  // index == NodeId value
   std::unordered_set<NodeId> dead_nodes_;

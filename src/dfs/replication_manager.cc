@@ -68,16 +68,25 @@ void ReplicationManager::repair(BlockId block) {
   const Bytes bytes = namenode_.block(block).size;
 
   ++in_flight_;
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kRepairStart, source, block,
+                 JobId::invalid(), bytes, target.value());
+  }
   // Read from the surviving replica's disk, ship over the network, write on
   // the target — the normal repair pipeline, contending with foreground IO.
   namenode_.datanode(source)->read_block(
       block, JobId::invalid(), [this, block, source, target, bytes](
                                    const BlockReadResult&) {
         network_.transfer(source, target, bytes, [this, block, target, bytes] {
-          namenode_.datanode(target)->write(bytes, [this, block, target] {
+          namenode_.datanode(target)->write(bytes, [this, block, target,
+                                                    bytes] {
             namenode_.add_replica(block, target);
             ++stats_.blocks_repaired;
             --in_flight_;
+            if (trace_ != nullptr) {
+              trace_->emit(TraceEventType::kRepairComplete, target, block,
+                           JobId::invalid(), bytes);
+            }
             pump();
           });
         });

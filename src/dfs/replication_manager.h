@@ -43,6 +43,9 @@ class ReplicationManager {
   std::size_t pending() const { return queue_.size(); }
   int in_flight() const { return in_flight_; }
 
+  /// Emits kRepairStart/kRepairComplete around each repair copy.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
  private:
   void pump();
   void repair(BlockId block);
@@ -51,6 +54,7 @@ class ReplicationManager {
   NameNode& namenode_;
   Network& network_;
   Rng rng_;
+  TraceRecorder* trace_ = nullptr;
   int max_concurrent_;
   int in_flight_ = 0;
   std::deque<BlockId> queue_;

@@ -1,0 +1,267 @@
+#include "obs/invariant_checker.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ignem {
+
+void InvariantRule::violate(const TraceEvent& event, std::string message,
+                            std::vector<InvariantViolation>& out) {
+  InvariantViolation v;
+  v.rule = name();
+  v.seq = event.seq;
+  v.time = event.time;
+  v.type = event.type;
+  v.message = std::move(message);
+  out.push_back(std::move(v));
+}
+
+// ---------------------------------------------------------------------------
+
+void MonotoneTimeRule::check(const TraceEvent& event,
+                             std::vector<InvariantViolation>& out) {
+  if (seen_) {
+    if (event.time < last_) {
+      std::ostringstream os;
+      os << "time ran backwards: " << event.time.count_micros() << "us after "
+         << last_.count_micros() << "us";
+      violate(event, os.str(), out);
+    }
+    if (event.seq <= last_seq_) {
+      violate(event, "sequence numbers are not strictly increasing", out);
+    }
+  }
+  seen_ = true;
+  last_ = event.time;
+  last_seq_ = event.seq;
+}
+
+// ---------------------------------------------------------------------------
+
+void ReplicaAccountingRule::check(const TraceEvent& event,
+                                  std::vector<InvariantViolation>& out) {
+  if (event.type != TraceEventType::kReplicaAdd) return;
+  const auto [it, inserted] = blocks_[event.block].insert(event.node);
+  (void)it;
+  if (!inserted) {
+    std::ostringstream os;
+    os << "node " << event.node << " already holds a replica of block "
+       << event.block;
+    violate(event, os.str(), out);
+  }
+}
+
+std::size_t ReplicaAccountingRule::replica_count(BlockId block) const {
+  const auto it = blocks_.find(block);
+  return it == blocks_.end() ? 0 : it->second.size();
+}
+
+bool ReplicaAccountingRule::has_replica(BlockId block, NodeId node) const {
+  const auto it = blocks_.find(block);
+  return it != blocks_.end() && it->second.contains(node);
+}
+
+// ---------------------------------------------------------------------------
+
+void ReadProvenanceRule::check(const TraceEvent& event,
+                               std::vector<InvariantViolation>& out) {
+  switch (event.type) {
+    case TraceEventType::kReplicaAdd:
+      replicas_[event.block].insert(event.node);
+      break;
+    case TraceEventType::kNodeDead:
+      dead_nodes_.insert(event.node);
+      break;
+    case TraceEventType::kNodeAlive:
+      dead_nodes_.erase(event.node);
+      break;
+    case TraceEventType::kBlockReadStart: {
+      const auto it = replicas_.find(event.block);
+      if (it == replicas_.end() || !it->second.contains(event.node)) {
+        std::ostringstream os;
+        os << "block " << event.block << " read on node " << event.node
+           << " which never received a replica of it";
+        violate(event, os.str(), out);
+      }
+      if (dead_nodes_.contains(event.node)) {
+        std::ostringstream os;
+        os << "block " << event.block << " read on dead node " << event.node;
+        violate(event, os.str(), out);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+void BandwidthConservationRule::check(const TraceEvent& event,
+                                      std::vector<InvariantViolation>& out) {
+  if (event.type != TraceEventType::kBandwidthChange) return;
+  const double streams = static_cast<double>(event.detail);
+  const double per_stream = event.value;
+  const double capacity = static_cast<double>(event.bytes);
+  if (per_stream < 0) {
+    violate(event, "negative per-stream rate", out);
+    return;
+  }
+  // Aggregate in use must fit under the channel's sequential capacity (the
+  // degradation model only ever shrinks the aggregate). Tolerate fp residue.
+  if (streams * per_stream > capacity * (1.0 + 1e-9)) {
+    std::ostringstream os;
+    os << streams << " streams at " << per_stream
+       << " B/s oversubscribe a channel of " << capacity << " B/s";
+    violate(event, os.str(), out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+void CacheCapacityRule::check(const TraceEvent& event,
+                              std::vector<InvariantViolation>& out) {
+  switch (event.type) {
+    case TraceEventType::kCacheInit:
+      capacity_[event.node] = event.bytes;
+      return;
+    case TraceEventType::kCacheLock:
+    case TraceEventType::kCacheUnlock:
+    case TraceEventType::kCacheReserve:
+    case TraceEventType::kCacheCommit:
+    case TraceEventType::kCacheCancel:
+      break;
+    default:
+      return;
+  }
+  const Bytes used = event.detail;
+  if (used < 0) {
+    violate(event, "locked-pool usage went negative", out);
+    return;
+  }
+  const auto it = capacity_.find(event.node);
+  if (it != capacity_.end() && used > it->second) {
+    std::ostringstream os;
+    os << "locked pool on node " << event.node << " holds " << used
+       << " bytes, over its capacity of " << it->second;
+    violate(event, os.str(), out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+void SingleMigrationRule::check(const TraceEvent& event,
+                                std::vector<InvariantViolation>& out) {
+  switch (event.type) {
+    case TraceEventType::kMigrationStart:
+      if (!in_flight_.insert(event.node).second) {
+        std::ostringstream os;
+        os << "node " << event.node
+           << " started a second concurrent migration (block " << event.block
+           << ")";
+        violate(event, os.str(), out);
+      }
+      break;
+    case TraceEventType::kMigrationComplete:
+      if (in_flight_.erase(event.node) == 0) {
+        std::ostringstream os;
+        os << "node " << event.node << " completed a migration of block "
+           << event.block << " it never started";
+        violate(event, os.str(), out);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+void QueueIntegrityRule::check(const TraceEvent& event,
+                               std::vector<InvariantViolation>& out) {
+  const auto key = std::make_tuple(event.node, event.block, event.job);
+  switch (event.type) {
+    case TraceEventType::kMigrationEnqueue:
+      ++queued_[key];
+      break;
+    case TraceEventType::kMigrationDequeue:
+    case TraceEventType::kMigrationDrop: {
+      auto it = queued_.find(key);
+      if (it == queued_.end() || it->second <= 0) {
+        std::ostringstream os;
+        os << "migration of block " << event.block << " for job " << event.job
+           << " left node " << event.node << "'s queue without entering it";
+        violate(event, os.str(), out);
+        break;
+      }
+      if (--it->second == 0) queued_.erase(it);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+void HotPromotionRule::check(const TraceEvent& event,
+                             std::vector<InvariantViolation>& out) {
+  switch (event.type) {
+    case TraceEventType::kBlockReadEnd:
+      ++reads_[{event.node, event.block}];
+      break;
+    case TraceEventType::kHotPromote: {
+      const std::int64_t threshold = static_cast<std::int64_t>(event.value);
+      const auto it = reads_.find({event.node, event.block});
+      const std::int64_t observed = it == reads_.end() ? 0 : it->second;
+      if (observed < threshold) {
+        std::ostringstream os;
+        os << "block " << event.block << " promoted on node " << event.node
+           << " after " << observed << " observed reads (threshold "
+           << threshold << ")";
+        violate(event, os.str(), out);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+InvariantChecker::InvariantChecker(bool install_default_rules) {
+  if (!install_default_rules) return;
+  add_rule(std::make_unique<MonotoneTimeRule>());
+  auto replica_rule = std::make_unique<ReplicaAccountingRule>();
+  replica_rule_ = replica_rule.get();
+  add_rule(std::move(replica_rule));
+  add_rule(std::make_unique<ReadProvenanceRule>());
+  add_rule(std::make_unique<BandwidthConservationRule>());
+  add_rule(std::make_unique<CacheCapacityRule>());
+  add_rule(std::make_unique<SingleMigrationRule>());
+  add_rule(std::make_unique<QueueIntegrityRule>());
+  add_rule(std::make_unique<HotPromotionRule>());
+}
+
+void InvariantChecker::add_rule(std::unique_ptr<InvariantRule> rule) {
+  IGNEM_CHECK(rule != nullptr);
+  rules_.push_back(std::move(rule));
+}
+
+void InvariantChecker::on_event(const TraceEvent& event) {
+  for (const auto& rule : rules_) rule->check(event, violations_);
+}
+
+std::string InvariantChecker::report() const {
+  std::ostringstream os;
+  for (const InvariantViolation& v : violations_) {
+    os << "[" << v.rule << "] seq=" << v.seq << " t=" << v.time.count_micros()
+       << "us " << trace_event_name(v.type) << ": " << v.message << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ignem

@@ -1,0 +1,178 @@
+// Live invariant checking over the event-trace stream.
+//
+// The InvariantChecker subscribes to a TraceRecorder and replays every
+// event through a set of pluggable rules, each asserting one of the
+// paper-level conservation laws the simulator must uphold:
+//
+//   MonotoneTimeRule          simulated time never runs backwards
+//   ReplicaAccountingRule     a node never gains a replica it already holds;
+//                             the event-derived replica map stays exact
+//   ReadProvenanceRule        a block is never read on a node it was never
+//                             written to, nor on a namespace-dead node
+//   BandwidthConservationRule per-stream shares never sum past a channel's
+//                             sequential capacity
+//   CacheCapacityRule         a locked-page pool never exceeds its capacity
+//                             nor goes negative
+//   SingleMigrationRule       a slave pages in at most one block at a time
+//                             (the paper's anti-contention rule, §III-A1)
+//   QueueIntegrityRule        every migration dequeue/drop matches a prior
+//                             enqueue of the same (node, block, job)
+//   HotPromotionRule          the hot-data baseline only promotes blocks
+//                             whose observed read count reached its threshold
+//
+// Violations are collected, not thrown: a run can finish and report every
+// breach, and tests can assert that crafted violating streams fire the
+// right rule. The event-derived replica model is exposed so callers (e.g.
+// Testbed) can cross-check it against live NameNode metadata.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "obs/trace_recorder.h"
+
+namespace ignem {
+
+struct InvariantViolation {
+  std::string rule;
+  std::uint64_t seq = 0;  ///< Of the offending event.
+  SimTime time;
+  TraceEventType type = TraceEventType::kCount;
+  std::string message;
+};
+
+/// One conservation law, fed the stream event by event.
+class InvariantRule {
+ public:
+  virtual ~InvariantRule() = default;
+  virtual const char* name() const = 0;
+  virtual void check(const TraceEvent& event,
+                     std::vector<InvariantViolation>& out) = 0;
+
+ protected:
+  /// Appends a violation for `event` under this rule's name.
+  void violate(const TraceEvent& event, std::string message,
+               std::vector<InvariantViolation>& out);
+};
+
+class MonotoneTimeRule : public InvariantRule {
+ public:
+  const char* name() const override { return "monotone_time"; }
+  void check(const TraceEvent& event,
+             std::vector<InvariantViolation>& out) override;
+
+ private:
+  SimTime last_;
+  bool seen_ = false;
+  std::uint64_t last_seq_ = 0;
+};
+
+class ReplicaAccountingRule : public InvariantRule {
+ public:
+  const char* name() const override { return "replica_accounting"; }
+  void check(const TraceEvent& event,
+             std::vector<InvariantViolation>& out) override;
+
+  std::size_t replica_count(BlockId block) const;
+  bool has_replica(BlockId block, NodeId node) const;
+  const std::map<BlockId, std::set<NodeId>>& blocks() const { return blocks_; }
+
+ private:
+  std::map<BlockId, std::set<NodeId>> blocks_;
+};
+
+class ReadProvenanceRule : public InvariantRule {
+ public:
+  const char* name() const override { return "read_provenance"; }
+  void check(const TraceEvent& event,
+             std::vector<InvariantViolation>& out) override;
+
+ private:
+  std::map<BlockId, std::set<NodeId>> replicas_;
+  std::unordered_set<NodeId> dead_nodes_;
+};
+
+class BandwidthConservationRule : public InvariantRule {
+ public:
+  const char* name() const override { return "bandwidth_conservation"; }
+  void check(const TraceEvent& event,
+             std::vector<InvariantViolation>& out) override;
+};
+
+class CacheCapacityRule : public InvariantRule {
+ public:
+  const char* name() const override { return "cache_capacity"; }
+  void check(const TraceEvent& event,
+             std::vector<InvariantViolation>& out) override;
+
+ private:
+  std::unordered_map<NodeId, Bytes> capacity_;
+};
+
+class SingleMigrationRule : public InvariantRule {
+ public:
+  const char* name() const override { return "single_migration"; }
+  void check(const TraceEvent& event,
+             std::vector<InvariantViolation>& out) override;
+
+ private:
+  std::unordered_set<NodeId> in_flight_;
+};
+
+class QueueIntegrityRule : public InvariantRule {
+ public:
+  const char* name() const override { return "queue_integrity"; }
+  void check(const TraceEvent& event,
+             std::vector<InvariantViolation>& out) override;
+
+ private:
+  std::map<std::tuple<NodeId, BlockId, JobId>, std::int64_t> queued_;
+};
+
+class HotPromotionRule : public InvariantRule {
+ public:
+  const char* name() const override { return "hot_promotion"; }
+  void check(const TraceEvent& event,
+             std::vector<InvariantViolation>& out) override;
+
+ private:
+  std::map<std::pair<NodeId, BlockId>, std::int64_t> reads_;
+};
+
+class InvariantChecker : public TraceObserver {
+ public:
+  /// Installs the default rule set above. Pass false for an empty checker
+  /// that tests populate rule by rule.
+  explicit InvariantChecker(bool install_default_rules = true);
+
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  void add_rule(std::unique_ptr<InvariantRule> rule);
+
+  void on_event(const TraceEvent& event) override;
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<InvariantViolation>& violations() const {
+    return violations_;
+  }
+
+  /// The event-derived replica model (null without the default rules).
+  const ReplicaAccountingRule* replica_model() const { return replica_rule_; }
+
+  /// Human-readable one-per-line violation report (test diagnostics).
+  std::string report() const;
+
+ private:
+  std::vector<std::unique_ptr<InvariantRule>> rules_;
+  std::vector<InvariantViolation> violations_;
+  const ReplicaAccountingRule* replica_rule_ = nullptr;
+};
+
+}  // namespace ignem

@@ -1,0 +1,88 @@
+#include "obs/trace_diff.h"
+
+#include <sstream>
+
+#include "obs/trace_recorder.h"
+
+namespace ignem {
+
+namespace {
+
+bool same_event(const TraceEvent& a, const TraceEvent& b) {
+  return a.seq == b.seq && a.time == b.time && a.type == b.type &&
+         a.node == b.node && a.block == b.block && a.job == b.job &&
+         a.bytes == b.bytes && a.detail == b.detail && a.value == b.value;
+}
+
+std::string render(const TraceEvent& event) {
+  std::ostringstream os;
+  TraceRecorder::append_jsonl(os, event);
+  std::string line = os.str();
+  if (!line.empty() && line.back() == '\n') line.pop_back();
+  return line;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+}  // namespace
+
+TraceDiffResult diff_traces(const std::vector<TraceEvent>& a,
+                            const std::vector<TraceEvent>& b) {
+  TraceDiffResult result;
+  const std::size_t common = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (same_event(a[i], b[i])) continue;
+    result.identical = false;
+    result.first_divergence = i;
+    std::ostringstream os;
+    os << "event " << i << " differs:\n  a: " << render(a[i])
+       << "\n  b: " << render(b[i]);
+    result.description = os.str();
+    return result;
+  }
+  if (a.size() != b.size()) {
+    result.identical = false;
+    result.first_divergence = common;
+    std::ostringstream os;
+    os << "traces agree for " << common << " events, then lengths differ ("
+       << a.size() << " vs " << b.size() << ")";
+    if (common < a.size()) os << "\n  a continues: " << render(a[common]);
+    if (common < b.size()) os << "\n  b continues: " << render(b[common]);
+    result.description = os.str();
+  }
+  return result;
+}
+
+TraceDiffResult diff_jsonl(const std::string& a, const std::string& b) {
+  TraceDiffResult result;
+  const std::vector<std::string> la = split_lines(a);
+  const std::vector<std::string> lb = split_lines(b);
+  const std::size_t common = std::min(la.size(), lb.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (la[i] == lb[i]) continue;
+    result.identical = false;
+    result.first_divergence = i;
+    std::ostringstream os;
+    os << "line " << (i + 1) << " differs:\n  a: " << la[i]
+       << "\n  b: " << lb[i];
+    result.description = os.str();
+    return result;
+  }
+  if (la.size() != lb.size()) {
+    result.identical = false;
+    result.first_divergence = common;
+    std::ostringstream os;
+    os << "traces agree for " << common << " lines, then lengths differ ("
+       << la.size() << " vs " << lb.size() << ")";
+    result.description = os.str();
+  }
+  return result;
+}
+
+}  // namespace ignem

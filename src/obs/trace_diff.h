@@ -1,0 +1,34 @@
+// Trace comparison: prove two runs took the same path, or show exactly
+// where they diverged.
+//
+// trace_hash() answers "identical or not" in O(1); TraceDiff answers "where
+// and how" — the tool you reach for when a determinism regression fires.
+// Event diffs compare full payloads field by field; text diffs compare
+// JSONL lines, so golden files can be checked without reconstructing
+// events.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace_event.h"
+
+namespace ignem {
+
+struct TraceDiffResult {
+  bool identical = true;
+  /// Index (event or line) of the first divergence; only valid when
+  /// !identical.
+  std::size_t first_divergence = 0;
+  /// Human-readable description of the first divergence.
+  std::string description;
+};
+
+/// Compares two event sequences field by field.
+TraceDiffResult diff_traces(const std::vector<TraceEvent>& a,
+                            const std::vector<TraceEvent>& b);
+
+/// Compares two JSONL texts line by line (golden-trace checking).
+TraceDiffResult diff_jsonl(const std::string& a, const std::string& b);
+
+}  // namespace ignem

@@ -1,0 +1,91 @@
+// Typed simulation-trace events.
+//
+// Every component on the hot path can emit structured events into a
+// TraceRecorder: block read start/end, replica add, migration
+// enqueue/start/complete, container allocate/release, cache lock/unlock,
+// bandwidth rate changes. An event is a flat POD so that recording is one
+// vector push and hashing/serialization never chase pointers. The same
+// stream feeds three consumers: the trace hash (bit-for-bit determinism
+// checks), the InvariantChecker (live conservation laws), and the
+// JSONL/binary sinks (golden traces, offline diffing).
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace ignem {
+
+enum class TraceEventType : std::uint8_t {
+  // Simulation kernel.
+  kSimRunStart,       ///< run_until() entered; detail = events dispatched so far.
+  kSimRunEnd,         ///< run_until() returned; detail = events dispatched.
+  // Storage devices and bandwidth channels.
+  kDeviceReadStart,   ///< bytes = request size.
+  kDeviceReadEnd,     ///< bytes = request size.
+  kDeviceWriteStart,  ///< bytes = request size.
+  kDeviceWriteEnd,    ///< bytes = request size.
+  kBandwidthChange,   ///< detail = active streams, value = per-stream rate,
+                      ///< bytes = channel sequential capacity (B/s).
+  // Locked-page pool (buffer cache).
+  kCacheInit,         ///< bytes = pool capacity.
+  kCacheLock,         ///< bytes = block size, detail = pool used after.
+  kCacheUnlock,       ///< bytes = block size, detail = pool used after.
+  kCacheReserve,      ///< bytes = reservation, detail = pool used after.
+  kCacheCommit,       ///< bytes = block size, detail = pool used after.
+  kCacheCancel,       ///< bytes = reservation, detail = pool used after.
+  kCacheHit,          ///< block served from the locked pool.
+  kCacheMiss,         ///< block served from the primary device.
+  // DFS namespace and read path.
+  kFileCreate,        ///< bytes = file size, detail = block count.
+  kReplicaAdd,        ///< node gained a replica of block; bytes = block size.
+  kNodeDead,          ///< node marked dead in the namespace.
+  kNodeAlive,         ///< node marked alive again.
+  kBlockReadStart,    ///< bytes = block size.
+  kBlockReadEnd,      ///< bytes = block size, detail = 1 if served from memory.
+  kRepairStart,       ///< re-replication copy began; node = source,
+                      ///< detail = target node id.
+  kRepairComplete,    ///< node = target that gained the replica.
+  // Cluster scheduler.
+  kJobRegister,
+  kJobComplete,
+  kContainerAllocate, ///< node granted a container to job.
+  kContainerRelease,  ///< node got a slot back.
+  // Ignem master/slave and the migration queue.
+  kMigrateRequest,    ///< client migrate RPC; bytes = job input bytes,
+                      ///< detail = file count.
+  kEvictRequest,      ///< client evict RPC; detail = file count.
+  kMigrationEnqueue,  ///< detail = queue depth after push.
+  kMigrationDequeue,  ///< detail = queue depth after pop.
+  kMigrationDrop,     ///< queued entry erased (job done / missed read).
+  kMigrationStart,    ///< slave began paging the block in.
+  kMigrationComplete, ///< block is memory-resident.
+  kEviction,          ///< reference list drained; block unlocked.
+  kHotPromote,        ///< hot-data baseline promoted block;
+                      ///< detail = access count at promotion.
+  kCount              ///< Sentinel; not a real event.
+};
+
+inline constexpr std::size_t kTraceEventTypeCount =
+    static_cast<std::size_t>(TraceEventType::kCount);
+
+/// Stable lower_snake_case name, used by the JSONL sink.
+const char* trace_event_name(TraceEventType type);
+
+/// One recorded event. Fields not meaningful for a type are left at their
+/// defaults (invalid ids, zero counts) and still participate in hashing, so
+/// the hash covers exactly what the sinks serialize.
+struct TraceEvent {
+  std::uint64_t seq = 0;  ///< Emission order, assigned by the recorder.
+  SimTime time;           ///< Stamped from the recorder's clock.
+  TraceEventType type = TraceEventType::kCount;
+  NodeId node;
+  BlockId block;
+  JobId job;
+  Bytes bytes = 0;
+  std::int64_t detail = 0;  ///< Type-specific (see enum comments).
+  double value = 0.0;       ///< Type-specific rate/ratio.
+};
+
+}  // namespace ignem

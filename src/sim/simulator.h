@@ -12,6 +12,7 @@
 #include <functional>
 
 #include "common/units.h"
+#include "obs/trace_recorder.h"
 #include "sim/event_queue.h"
 
 namespace ignem {
@@ -57,11 +58,15 @@ class Simulator {
   /// Live events currently pending.
   std::size_t pending_events() const { return queue_.live_count(); }
 
+  /// Emits kSimRunStart/kSimRunEnd around each run; null disables.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
  private:
   SimTime now_ = SimTime::zero();
   EventQueue queue_;
   bool stop_requested_ = false;
   std::uint64_t dispatched_ = 0;
+  TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace ignem

@@ -75,6 +75,13 @@ void SharedBandwidthResource::reschedule() {
     sim_.cancel(pending_event_);
     pending_event_ = EventHandle::invalid();
   }
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kBandwidthChange, trace_node_,
+                 BlockId::invalid(), JobId::invalid(),
+                 static_cast<Bytes>(profile_.sequential_bw),
+                 static_cast<std::int64_t>(transfers_.size()),
+                 per_stream_rate(transfers_.size()));
+  }
   if (transfers_.empty()) return;
   const Bandwidth rate = per_stream_rate(transfers_.size());
   double min_remaining = std::numeric_limits<double>::infinity();

@@ -22,7 +22,9 @@
 #include <string>
 
 #include "common/check.h"
+#include "common/ids.h"
 #include "common/units.h"
+#include "obs/trace_recorder.h"
 #include "sim/simulator.h"
 
 namespace ignem {
@@ -79,6 +81,13 @@ class SharedBandwidthResource {
   const std::string& name() const { return name_; }
   const BandwidthProfile& profile() const { return profile_; }
 
+  /// Emits kBandwidthChange (active streams + per-stream rate) whenever the
+  /// transfer set changes; `node` attributes the channel to its owner.
+  void set_trace(TraceRecorder* trace, NodeId node) {
+    trace_ = trace;
+    trace_node_ = node;
+  }
+
  private:
   struct Transfer {
     double remaining_bytes;
@@ -100,6 +109,8 @@ class SharedBandwidthResource {
   Simulator& sim_;
   std::string name_;
   BandwidthProfile profile_;
+  TraceRecorder* trace_ = nullptr;
+  NodeId trace_node_;
 
   std::map<std::uint64_t, Transfer> transfers_;  // ordered => deterministic
   std::uint64_t next_id_ = 1;

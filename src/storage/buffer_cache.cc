@@ -12,6 +12,23 @@ void BufferCache::track_peak() {
   peak_used_ = std::max(peak_used_, used_ + reserved_);
 }
 
+void BufferCache::set_trace(TraceRecorder* trace, NodeId node) {
+  trace_ = trace;
+  trace_node_ = node;
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kCacheInit, trace_node_, BlockId::invalid(),
+                 JobId::invalid(), capacity_);
+  }
+}
+
+void BufferCache::emit(TraceEventType type, BlockId block, Bytes bytes) const {
+  if (trace_ == nullptr) return;
+  // detail carries the pool's occupancy after the operation so the
+  // CacheCapacityRule can check it against kCacheInit's capacity.
+  trace_->emit(type, trace_node_, block, JobId::invalid(), bytes,
+               used_ + reserved_);
+}
+
 bool BufferCache::lock(BlockId block, Bytes bytes) {
   IGNEM_CHECK(block.valid());
   IGNEM_CHECK(bytes >= 0);
@@ -20,6 +37,7 @@ bool BufferCache::lock(BlockId block, Bytes bytes) {
   entries_.emplace(block, bytes);
   used_ += bytes;
   track_peak();
+  emit(TraceEventType::kCacheLock, block, bytes);
   return true;
 }
 
@@ -28,6 +46,7 @@ bool BufferCache::reserve(Bytes bytes) {
   if (used_ + reserved_ + bytes > capacity_) return false;
   reserved_ += bytes;
   track_peak();
+  emit(TraceEventType::kCacheReserve, BlockId::invalid(), bytes);
   return true;
 }
 
@@ -39,26 +58,32 @@ void BufferCache::commit_reservation(BlockId block, Bytes bytes) {
   reserved_ -= bytes;
   entries_.emplace(block, bytes);
   used_ += bytes;
+  emit(TraceEventType::kCacheCommit, block, bytes);
 }
 
 void BufferCache::cancel_reservation(Bytes bytes) {
   IGNEM_CHECK_MSG(reserved_ >= bytes, "cancelling more than reserved");
   reserved_ -= bytes;
+  emit(TraceEventType::kCacheCancel, BlockId::invalid(), bytes);
 }
 
 bool BufferCache::unlock(BlockId block) {
   const auto it = entries_.find(block);
   if (it == entries_.end()) return false;
-  used_ -= it->second;
+  const Bytes bytes = it->second;
+  used_ -= bytes;
   IGNEM_CHECK(used_ >= 0);
   entries_.erase(it);
+  emit(TraceEventType::kCacheUnlock, block, bytes);
   return true;
 }
 
 void BufferCache::clear() {
+  const Bytes dropped = used_ + reserved_;
   entries_.clear();
   used_ = 0;
   reserved_ = 0;
+  if (dropped > 0) emit(TraceEventType::kCacheUnlock, BlockId::invalid(), dropped);
 }
 
 }  // namespace ignem

@@ -12,6 +12,7 @@
 #include "common/check.h"
 #include "common/ids.h"
 #include "common/units.h"
+#include "obs/trace_recorder.h"
 
 namespace ignem {
 
@@ -50,14 +51,21 @@ class BufferCache {
   std::size_t block_count() const { return entries_.size(); }
   Bytes peak_used() const { return peak_used_; }
 
+  /// Emits kCacheInit now and kCacheLock/Unlock/Reserve/Commit/Cancel on
+  /// every pool mutation; `node` attributes the pool to its owner.
+  void set_trace(TraceRecorder* trace, NodeId node);
+
  private:
   void track_peak();
+  void emit(TraceEventType type, BlockId block, Bytes bytes) const;
 
   Bytes capacity_;
   Bytes used_ = 0;
   Bytes reserved_ = 0;
   Bytes peak_used_ = 0;
   std::unordered_map<BlockId, Bytes> entries_;
+  TraceRecorder* trace_ = nullptr;
+  NodeId trace_node_;
 };
 
 }  // namespace ignem

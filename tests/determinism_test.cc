@@ -1,0 +1,104 @@
+// Determinism regression suite: the whole simulator must replay bit-for-bit.
+//
+// trace_hash() folds every recorded event — times, IDs, byte counts, rates —
+// into one digest, so "same seed, same trace" is a single EXPECT_EQ, and a
+// regression pinpoints itself via TraceDiff.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "core/testbed.h"
+#include "obs/trace_diff.h"
+#include "test_util.h"
+#include "workload/swim.h"
+
+namespace ignem {
+namespace {
+
+TestbedConfig traced_config(RunMode mode, std::uint64_t seed) {
+  TestbedConfig config;
+  config.mode = mode;
+  config.cluster.node_count = 4;
+  config.cluster.slots_per_node = 6;
+  config.cache_capacity_per_node = 64 * kGiB;
+  config.seed = seed;
+  config.enable_trace = true;
+  return config;
+}
+
+SwimConfig small_swim(std::uint64_t seed) {
+  SwimConfig config;
+  config.job_count = 12;
+  config.total_input = 3 * kGiB;
+  config.tail_max = 1 * kGiB;
+  config.mean_interarrival = Duration::seconds(1.5);
+  config.seed = seed;
+  return config;
+}
+
+struct RunResult {
+  std::uint64_t hash = 0;
+  std::vector<TraceEvent> events;
+};
+
+RunResult run_swim(RunMode mode, std::uint64_t seed) {
+  Testbed testbed(traced_config(mode, seed));
+  testbed.run_workload(build_swim_workload(testbed, small_swim(seed)));
+  return RunResult{testbed.trace_hash(), testbed.trace()->events()};
+}
+
+TEST(Determinism, SameSeedSameTraceHash) {
+  const std::uint64_t seed = test::seed_for(7);
+  const RunResult a = run_swim(RunMode::kIgnem, seed);
+  const RunResult b = run_swim(RunMode::kIgnem, seed);
+  ASSERT_FALSE(a.events.empty());
+  EXPECT_EQ(a.hash, b.hash);
+  const TraceDiffResult diff = diff_traces(a.events, b.events);
+  EXPECT_TRUE(diff.identical) << diff.description;
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  const RunResult a = run_swim(RunMode::kIgnem, test::seed_for(7));
+  const RunResult b = run_swim(RunMode::kIgnem, test::seed_for(8));
+  EXPECT_NE(a.hash, b.hash);
+  EXPECT_FALSE(diff_traces(a.events, b.events).identical);
+}
+
+TEST(Determinism, HoldsAcrossModes) {
+  for (const RunMode mode :
+       {RunMode::kHdfs, RunMode::kHdfsInputsInRam, RunMode::kIgnem,
+        RunMode::kInstantMigration, RunMode::kHotDataPromotion}) {
+    const std::uint64_t seed = test::seed_for(21);
+    const RunResult a = run_swim(mode, seed);
+    const RunResult b = run_swim(mode, seed);
+    EXPECT_EQ(a.hash, b.hash) << run_mode_name(mode);
+  }
+}
+
+TEST(Determinism, DiffPinpointsFirstDivergence) {
+  // Perturb one event by hand; the diff must name that exact index.
+  RunResult a = run_swim(RunMode::kIgnem, test::seed_for(7));
+  std::vector<TraceEvent> mutated = a.events;
+  ASSERT_GT(mutated.size(), 10u);
+  mutated[10].bytes += 1;
+  const TraceDiffResult diff = diff_traces(a.events, mutated);
+  ASSERT_FALSE(diff.identical);
+  EXPECT_EQ(diff.first_divergence, 10u);
+  EXPECT_FALSE(diff.description.empty());
+}
+
+TEST(Determinism, BinaryRoundTripPreservesHashInputs) {
+  // write_binary/read_binary must preserve every hashed field exactly.
+  Testbed testbed(traced_config(RunMode::kIgnem, test::seed_for(3)));
+  testbed.run_workload(build_swim_workload(testbed, small_swim(3)));
+  std::stringstream buffer;
+  testbed.trace()->write_binary(buffer);
+  const std::vector<TraceEvent> reloaded = TraceRecorder::read_binary(buffer);
+  const TraceDiffResult diff = diff_traces(testbed.trace()->events(), reloaded);
+  EXPECT_TRUE(diff.identical) << diff.description;
+}
+
+}  // namespace
+}  // namespace ignem

@@ -3,6 +3,7 @@
 
 #include "core/testbed.h"
 #include "net/network.h"
+#include "test_util.h"
 #include "workload/standalone.h"
 
 namespace ignem {
@@ -15,6 +16,7 @@ TestbedConfig small(RunMode mode) {
   config.cluster.slots_per_node = 4;
   config.cache_capacity_per_node = 32 * kGiB;
   config.memory_sample_period = Duration::zero();
+  config.seed = test::seed_for(config.seed);
   return config;
 }
 

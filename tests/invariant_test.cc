@@ -1,0 +1,261 @@
+// InvariantChecker suite: every rule fires on a crafted violating stream,
+// and none fires across a seed sweep of real full-stack runs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/testbed.h"
+#include "obs/invariant_checker.h"
+#include "obs/trace_recorder.h"
+#include "test_util.h"
+#include "workload/swim.h"
+
+namespace ignem {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Harness for hand-built streams: one recorder, one checker, one rule.
+
+struct RuleHarness {
+  explicit RuleHarness(std::unique_ptr<InvariantRule> rule)
+      : checker(/*install_default_rules=*/false) {
+    checker.add_rule(std::move(rule));
+    recorder.add_observer(&checker);
+  }
+
+  TraceRecorder recorder;
+  InvariantChecker checker;
+};
+
+TEST(InvariantRules, MonotoneTimeFiresOnBackwardClock) {
+  RuleHarness h(std::make_unique<MonotoneTimeRule>());
+  std::int64_t t = 100;
+  h.recorder.set_clock([&t] { return SimTime(t); });
+  h.recorder.emit(TraceEventType::kBlockReadStart, NodeId(0), BlockId(1));
+  t = 50;  // clock runs backwards
+  h.recorder.emit(TraceEventType::kBlockReadEnd, NodeId(0), BlockId(1));
+  ASSERT_FALSE(h.checker.ok());
+  EXPECT_EQ(h.checker.violations().front().rule, "monotone_time");
+}
+
+TEST(InvariantRules, MonotoneTimeAcceptsForwardClock) {
+  RuleHarness h(std::make_unique<MonotoneTimeRule>());
+  std::int64_t t = 0;
+  h.recorder.set_clock([&t] { return SimTime(t); });
+  for (int i = 0; i < 10; ++i) {
+    h.recorder.emit(TraceEventType::kBlockReadStart, NodeId(0), BlockId(i));
+    t += 5;  // equal or advancing times are both legal
+    h.recorder.emit(TraceEventType::kBlockReadEnd, NodeId(0), BlockId(i));
+  }
+  EXPECT_TRUE(h.checker.ok()) << h.checker.report();
+}
+
+TEST(InvariantRules, ReplicaAccountingFiresOnDuplicateAdd) {
+  RuleHarness h(std::make_unique<ReplicaAccountingRule>());
+  h.recorder.emit(TraceEventType::kReplicaAdd, NodeId(2), BlockId(9),
+                  JobId::invalid(), 64 * kMiB);
+  h.recorder.emit(TraceEventType::kReplicaAdd, NodeId(2), BlockId(9),
+                  JobId::invalid(), 64 * kMiB);
+  ASSERT_FALSE(h.checker.ok());
+  EXPECT_EQ(h.checker.violations().front().rule, "replica_accounting");
+}
+
+TEST(InvariantRules, ReadProvenanceFiresOnUnwrittenNode) {
+  RuleHarness h(std::make_unique<ReadProvenanceRule>());
+  h.recorder.emit(TraceEventType::kReplicaAdd, NodeId(0), BlockId(5),
+                  JobId::invalid(), 64 * kMiB);
+  // Node 3 never received block 5.
+  h.recorder.emit(TraceEventType::kBlockReadStart, NodeId(3), BlockId(5),
+                  JobId(1), 64 * kMiB);
+  ASSERT_FALSE(h.checker.ok());
+  EXPECT_EQ(h.checker.violations().front().rule, "read_provenance");
+}
+
+TEST(InvariantRules, ReadProvenanceFiresOnDeadNode) {
+  RuleHarness h(std::make_unique<ReadProvenanceRule>());
+  h.recorder.emit(TraceEventType::kReplicaAdd, NodeId(1), BlockId(5),
+                  JobId::invalid(), 64 * kMiB);
+  h.recorder.emit(TraceEventType::kNodeDead, NodeId(1));
+  h.recorder.emit(TraceEventType::kBlockReadStart, NodeId(1), BlockId(5),
+                  JobId(1), 64 * kMiB);
+  ASSERT_FALSE(h.checker.ok());
+  // Revival clears the state: the same read is legal again.
+  RuleHarness h2(std::make_unique<ReadProvenanceRule>());
+  h2.recorder.emit(TraceEventType::kReplicaAdd, NodeId(1), BlockId(5),
+                   JobId::invalid(), 64 * kMiB);
+  h2.recorder.emit(TraceEventType::kNodeDead, NodeId(1));
+  h2.recorder.emit(TraceEventType::kNodeAlive, NodeId(1));
+  h2.recorder.emit(TraceEventType::kBlockReadStart, NodeId(1), BlockId(5),
+                   JobId(1), 64 * kMiB);
+  EXPECT_TRUE(h2.checker.ok()) << h2.checker.report();
+}
+
+TEST(InvariantRules, BandwidthConservationFiresOnOversubscription) {
+  RuleHarness h(std::make_unique<BandwidthConservationRule>());
+  // 4 streams at 40 MiB/s each out of a 100 MiB/s sequential channel:
+  // 160 > 100, the shares sum past capacity.
+  h.recorder.emit(TraceEventType::kBandwidthChange, NodeId(0),
+                  BlockId::invalid(), JobId::invalid(),
+                  /*bytes=*/static_cast<Bytes>(mib_per_sec(100.0)),
+                  /*detail=*/4, /*value=*/mib_per_sec(40.0));
+  ASSERT_FALSE(h.checker.ok());
+  EXPECT_EQ(h.checker.violations().front().rule, "bandwidth_conservation");
+}
+
+TEST(InvariantRules, BandwidthConservationAcceptsFairShares) {
+  RuleHarness h(std::make_unique<BandwidthConservationRule>());
+  h.recorder.emit(TraceEventType::kBandwidthChange, NodeId(0),
+                  BlockId::invalid(), JobId::invalid(),
+                  static_cast<Bytes>(mib_per_sec(100.0)),
+                  /*detail=*/4, /*value=*/mib_per_sec(25.0));
+  h.recorder.emit(TraceEventType::kBandwidthChange, NodeId(0),
+                  BlockId::invalid(), JobId::invalid(),
+                  static_cast<Bytes>(mib_per_sec(100.0)),
+                  /*detail=*/0, /*value=*/0.0);
+  EXPECT_TRUE(h.checker.ok()) << h.checker.report();
+}
+
+TEST(InvariantRules, CacheCapacityFiresOnOverflow) {
+  RuleHarness h(std::make_unique<CacheCapacityRule>());
+  h.recorder.emit(TraceEventType::kCacheInit, NodeId(0), BlockId::invalid(),
+                  JobId::invalid(), /*capacity=*/1 * kGiB);
+  // A lock whose post-op occupancy (detail) exceeds the declared capacity.
+  h.recorder.emit(TraceEventType::kCacheLock, NodeId(0), BlockId(1),
+                  JobId::invalid(), 2 * kGiB, /*detail=*/2 * kGiB);
+  ASSERT_FALSE(h.checker.ok());
+  EXPECT_EQ(h.checker.violations().front().rule, "cache_capacity");
+}
+
+TEST(InvariantRules, CacheCapacityFiresOnNegativeOccupancy) {
+  RuleHarness h(std::make_unique<CacheCapacityRule>());
+  h.recorder.emit(TraceEventType::kCacheInit, NodeId(0), BlockId::invalid(),
+                  JobId::invalid(), 1 * kGiB);
+  h.recorder.emit(TraceEventType::kCacheUnlock, NodeId(0), BlockId(1),
+                  JobId::invalid(), 64 * kMiB, /*detail=*/-64 * kMiB);
+  ASSERT_FALSE(h.checker.ok());
+}
+
+TEST(InvariantRules, SingleMigrationFiresOnConcurrentStart) {
+  RuleHarness h(std::make_unique<SingleMigrationRule>());
+  h.recorder.emit(TraceEventType::kMigrationStart, NodeId(0), BlockId(1),
+                  JobId(1), 64 * kMiB);
+  h.recorder.emit(TraceEventType::kMigrationStart, NodeId(0), BlockId(2),
+                  JobId(1), 64 * kMiB);
+  ASSERT_FALSE(h.checker.ok());
+  EXPECT_EQ(h.checker.violations().front().rule, "single_migration");
+}
+
+TEST(InvariantRules, SingleMigrationAcceptsSerialAndParallelNodes) {
+  RuleHarness h(std::make_unique<SingleMigrationRule>());
+  // Serial on node 0; node 1 migrating concurrently is fine (the rule is
+  // per-slave, §III-A1).
+  h.recorder.emit(TraceEventType::kMigrationStart, NodeId(0), BlockId(1),
+                  JobId(1), 64 * kMiB);
+  h.recorder.emit(TraceEventType::kMigrationStart, NodeId(1), BlockId(2),
+                  JobId(1), 64 * kMiB);
+  h.recorder.emit(TraceEventType::kMigrationComplete, NodeId(0), BlockId(1),
+                  JobId::invalid(), 64 * kMiB);
+  h.recorder.emit(TraceEventType::kMigrationStart, NodeId(0), BlockId(3),
+                  JobId(1), 64 * kMiB);
+  EXPECT_TRUE(h.checker.ok()) << h.checker.report();
+}
+
+TEST(InvariantRules, QueueIntegrityFiresOnPhantomDequeue) {
+  RuleHarness h(std::make_unique<QueueIntegrityRule>());
+  h.recorder.emit(TraceEventType::kMigrationDequeue, NodeId(0), BlockId(1),
+                  JobId(1), 64 * kMiB);
+  ASSERT_FALSE(h.checker.ok());
+  EXPECT_EQ(h.checker.violations().front().rule, "queue_integrity");
+}
+
+TEST(InvariantRules, QueueIntegrityAcceptsMatchedPairs) {
+  RuleHarness h(std::make_unique<QueueIntegrityRule>());
+  h.recorder.emit(TraceEventType::kMigrationEnqueue, NodeId(0), BlockId(1),
+                  JobId(1), 64 * kMiB);
+  h.recorder.emit(TraceEventType::kMigrationEnqueue, NodeId(0), BlockId(2),
+                  JobId(2), 64 * kMiB);
+  h.recorder.emit(TraceEventType::kMigrationDequeue, NodeId(0), BlockId(1),
+                  JobId(1), 64 * kMiB);
+  h.recorder.emit(TraceEventType::kMigrationDrop, NodeId(0), BlockId(2),
+                  JobId(2), 64 * kMiB);
+  EXPECT_TRUE(h.checker.ok()) << h.checker.report();
+}
+
+TEST(InvariantRules, HotPromotionFiresOnColdBlock) {
+  RuleHarness h(std::make_unique<HotPromotionRule>());
+  // One read observed, threshold 2: the block is not hot yet.
+  h.recorder.emit(TraceEventType::kBlockReadEnd, NodeId(0), BlockId(1),
+                  JobId(1), 64 * kMiB);
+  h.recorder.emit(TraceEventType::kHotPromote, NodeId(0), BlockId(1),
+                  JobId::invalid(), 64 * kMiB, /*detail=*/1, /*value=*/2.0);
+  ASSERT_FALSE(h.checker.ok());
+  EXPECT_EQ(h.checker.violations().front().rule, "hot_promotion");
+}
+
+TEST(InvariantRules, HotPromotionAcceptsHotBlock) {
+  RuleHarness h(std::make_unique<HotPromotionRule>());
+  h.recorder.emit(TraceEventType::kBlockReadEnd, NodeId(0), BlockId(1),
+                  JobId(1), 64 * kMiB);
+  h.recorder.emit(TraceEventType::kBlockReadEnd, NodeId(0), BlockId(1),
+                  JobId(2), 64 * kMiB);
+  h.recorder.emit(TraceEventType::kHotPromote, NodeId(0), BlockId(1),
+                  JobId::invalid(), 64 * kMiB, /*detail=*/2, /*value=*/2.0);
+  EXPECT_TRUE(h.checker.ok()) << h.checker.report();
+}
+
+// ---------------------------------------------------------------------------
+// Full-stack sweep: the default rule set stays clean across seeds and modes.
+
+TestbedConfig checked_config(RunMode mode, std::uint64_t seed) {
+  TestbedConfig config;
+  config.mode = mode;
+  config.cluster.node_count = 4;
+  config.cluster.slots_per_node = 6;
+  config.cache_capacity_per_node = 64 * kGiB;
+  config.seed = test::seed_for(seed);
+  config.check_invariants = true;
+  return config;
+}
+
+SwimConfig sweep_swim(std::uint64_t seed) {
+  SwimConfig config;
+  config.job_count = 10;
+  config.total_input = 2 * kGiB;
+  config.tail_max = 1 * kGiB;
+  config.mean_interarrival = Duration::seconds(1.0);
+  config.seed = test::seed_for(seed);
+  return config;
+}
+
+class InvariantSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InvariantSweep, IgnemRunHasZeroViolations) {
+  const std::uint64_t seed = GetParam();
+  Testbed testbed(checked_config(RunMode::kIgnem, seed));
+  testbed.run_workload(build_swim_workload(testbed, sweep_swim(seed)));
+  ASSERT_NE(testbed.invariant_checker(), nullptr);
+  EXPECT_TRUE(testbed.invariant_checker()->ok())
+      << testbed.invariant_checker()->report();
+  EXPECT_EQ(testbed.replica_model_mismatch(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvariantSweep,
+                         ::testing::Range(std::uint64_t{1}, std::uint64_t{21}));
+
+TEST(InvariantSweepModes, AllModesCleanOnOneSeed) {
+  for (const RunMode mode :
+       {RunMode::kHdfs, RunMode::kHdfsInputsInRam, RunMode::kIgnem,
+        RunMode::kInstantMigration, RunMode::kHotDataPromotion}) {
+    Testbed testbed(checked_config(mode, 42));
+    testbed.run_workload(build_swim_workload(testbed, sweep_swim(42)));
+    EXPECT_TRUE(testbed.invariant_checker()->ok())
+        << run_mode_name(mode) << ":\n"
+        << testbed.invariant_checker()->report();
+    EXPECT_EQ(testbed.replica_model_mismatch(), "") << run_mode_name(mode);
+  }
+}
+
+}  // namespace
+}  // namespace ignem

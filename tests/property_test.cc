@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/testbed.h"
+#include "test_util.h"
 #include "workload/swim.h"
 
 namespace ignem {
@@ -16,7 +17,7 @@ TestbedConfig config_for(RunMode mode, std::uint64_t seed) {
   config.cluster.node_count = 4;
   config.cluster.slots_per_node = 6;
   config.cache_capacity_per_node = 64 * kGiB;
-  config.seed = seed;
+  config.seed = test::seed_for(seed);
   return config;
 }
 
@@ -26,7 +27,7 @@ SwimConfig swim_for(std::uint64_t seed) {
   config.total_input = 6 * kGiB;
   config.tail_max = 2 * kGiB;
   config.mean_interarrival = Duration::seconds(1.5);
-  config.seed = seed;
+  config.seed = test::seed_for(seed);
   return config;
 }
 

@@ -1,0 +1,61 @@
+// Shared test seeding.
+//
+// Randomized tests derive every RNG seed through seed_for(base). By default
+// it returns `base` unchanged, so runs are reproducible and golden values
+// stay stable. Setting IGNEM_TEST_SEED=<n> (n != 0) mixes n into every
+// stream, re-running the whole suite against fresh randomness; a failure
+// prints the active value so the exact run can be replayed.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+
+namespace ignem::test {
+
+/// The IGNEM_TEST_SEED environment value (0 when unset/empty).
+inline std::uint64_t env_seed() {
+  static const std::uint64_t value = [] {
+    const char* raw = std::getenv("IGNEM_TEST_SEED");
+    if (raw == nullptr || *raw == '\0') return std::uint64_t{0};
+    return static_cast<std::uint64_t>(std::strtoull(raw, nullptr, 10));
+  }();
+  return value;
+}
+
+/// Seed for one RNG stream: `base` verbatim by default; with
+/// IGNEM_TEST_SEED set, a splitmix64-style mix of (base, env) so distinct
+/// bases stay distinct.
+inline std::uint64_t seed_for(std::uint64_t base) {
+  const std::uint64_t env = env_seed();
+  if (env == 0) return base;
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ull * env;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Prints the active suite seed alongside any failure, so randomized
+/// failures reproduce with IGNEM_TEST_SEED=<printed value>.
+class SeedPrinter : public ::testing::EmptyTestEventListener {
+  void OnTestPartResult(const ::testing::TestPartResult& result) override {
+    if (result.failed()) {
+      std::cerr << "[   SEED   ] IGNEM_TEST_SEED=" << env_seed()
+                << " (0 = fixed per-test defaults)" << '\n';
+    }
+  }
+};
+
+namespace detail {
+struct SeedPrinterRegistrar {
+  SeedPrinterRegistrar() {
+    ::testing::UnitTest::GetInstance()->listeners().Append(new SeedPrinter);
+  }
+};
+// One registration per test binary (inline variable: one instance program-wide).
+inline const SeedPrinterRegistrar seed_printer_registrar{};
+}  // namespace detail
+
+}  // namespace ignem::test
