@@ -36,20 +36,41 @@ double run_wordcount(RunMode mode, double input_gib, Duration extra_lead) {
   JobSpec spec = make_wordcount_job(testbed, "/wc/input", gib(input_gib));
   spec.extra_lead_time = extra_lead;
   testbed.run_workload({{Duration::zero(), spec}});
+  report().add_run(testbed);
   return testbed.metrics().jobs()[0].duration.to_seconds();
 }
+
+constexpr double kSizesGib[] = {2.0, 4.0, 8.0, 12.0};
 
 void main_impl() {
   print_header("Ablation (SIV-F): added delay can speed up a job");
 
+  // 4 sizes x 3 configurations through the sweep runner; index order keeps
+  // the table deterministic regardless of worker count.
+  const std::size_t cases = std::size(kSizesGib) * 3;
+  const std::vector<double> durations = run_indexed_sweep(
+      cases,
+      [&](std::size_t i) {
+        const double size = kSizesGib[i / 3];
+        switch (i % 3) {
+          case 0: return run_wordcount(RunMode::kHdfs, size, Duration::zero());
+          case 1: return run_wordcount(RunMode::kIgnem, size, Duration::zero());
+          default:
+            return run_wordcount(RunMode::kIgnem, size, Duration::seconds(10));
+        }
+      },
+      trace_requested() ? 1 : 0);
+
   TextTable table({"Input", "HDFS (s)", "Ignem (s)", "Ignem+10s (s)",
                    "+10s vs Ignem"});
-  for (const double size : {2.0, 4.0, 8.0, 12.0}) {
-    const double hdfs = run_wordcount(RunMode::kHdfs, size, Duration::zero());
-    const double ignem = run_wordcount(RunMode::kIgnem, size, Duration::zero());
-    const double ignem10 =
-        run_wordcount(RunMode::kIgnem, size, Duration::seconds(10));
-    table.add_row({TextTable::fixed(size, 0) + " GB",
+  for (std::size_t trial = 0; trial < std::size(kSizesGib); ++trial) {
+    const double hdfs = durations[trial * 3 + 0];
+    const double ignem = durations[trial * 3 + 1];
+    const double ignem10 = durations[trial * 3 + 2];
+    report().metric("delay_gain_gib" + std::to_string(static_cast<int>(
+                        kSizesGib[trial])),
+                    speedup(ignem, ignem10));
+    table.add_row({TextTable::fixed(kSizesGib[trial], 0) + " GB",
                    TextTable::fixed(hdfs, 1), TextTable::fixed(ignem, 1),
                    TextTable::fixed(ignem10, 1),
                    TextTable::percent(speedup(ignem, ignem10))});
@@ -64,4 +85,4 @@ void main_impl() {
 }  // namespace
 }  // namespace ignem::bench
 
-int main() { ignem::bench::main_impl(); }
+int main() { return ignem::bench::bench_main("ablation_delay", ignem::bench::main_impl); }

@@ -13,6 +13,7 @@ double run_with_policy(MigrationPolicy policy) {
   config.ignem.policy = policy;
   Testbed testbed(config);
   testbed.run_workload(build_swim_workload(testbed, paper_swim()));
+  report().add_run(testbed);
   return testbed.metrics().mean_job_duration_seconds();
 }
 
@@ -40,6 +41,8 @@ void main_impl() {
   std::cout << table.render() << "\n";
 
   const double lost = speedup(hdfs, sjf) - speedup(hdfs, fifo);
+  report().metric("sjf_speedup", speedup(hdfs, sjf));
+  report().metric("fifo_speedup", speedup(hdfs, fifo));
   std::cout << "Disabling prioritization costs "
             << TextTable::percent(lost) << " of speedup ("
             << TextTable::percent(lost / speedup(hdfs, sjf))
@@ -49,4 +52,4 @@ void main_impl() {
 }  // namespace
 }  // namespace ignem::bench
 
-int main() { ignem::bench::main_impl(); }
+int main() { return ignem::bench::bench_main("ablation_priority", ignem::bench::main_impl); }

@@ -20,6 +20,7 @@ Outcome run_with_replicas(int replicas) {
   config.ignem.replicas_to_migrate = replicas;
   Testbed testbed(config);
   testbed.run_workload(build_swim_workload(testbed, paper_swim()));
+  report().add_run(testbed);
 
   Outcome out;
   out.mean_job_s = testbed.metrics().mean_job_duration_seconds();
@@ -51,6 +52,8 @@ void main_impl() {
                    "Mean memory/server (GiB)", "Disk bytes migrated (GiB)"});
   for (const int replicas : {1, 2, 3}) {
     const Outcome out = run_with_replicas(replicas);
+    report().metric("speedup_replicas" + std::to_string(replicas),
+                    speedup(hdfs, out.mean_job_s));
     table.add_row({std::to_string(replicas),
                    TextTable::fixed(out.mean_job_s, 2),
                    TextTable::percent(speedup(hdfs, out.mean_job_s)),
@@ -65,4 +68,4 @@ void main_impl() {
 }  // namespace
 }  // namespace ignem::bench
 
-int main() { ignem::bench::main_impl(); }
+int main() { return ignem::bench::bench_main("ablation_replicas", ignem::bench::main_impl); }

@@ -28,10 +28,23 @@ MediumResult run(const std::string& label, RunMode mode, MediaType media) {
 void main_impl() {
   print_header("Fig. 1: HDFS block read durations by storage medium");
 
-  const MediumResult hdd = run("HDD", RunMode::kHdfs, MediaType::kHdd);
-  const MediumResult ssd = run("SSD", RunMode::kHdfs, MediaType::kSsd);
-  const MediumResult ram =
-      run("RAM (vmtouch)", RunMode::kHdfsInputsInRam, MediaType::kHdd);
+  const std::vector<MediumResult> results = run_indexed_sweep(
+      3,
+      [](std::size_t i) {
+        switch (i) {
+          case 0: return run("HDD", RunMode::kHdfs, MediaType::kHdd);
+          case 1: return run("SSD", RunMode::kHdfs, MediaType::kSsd);
+          default:
+            return run("RAM (vmtouch)", RunMode::kHdfsInputsInRam,
+                       MediaType::kHdd);
+        }
+      },
+      trace_requested() ? 1 : 0);
+  const MediumResult& hdd = results[0];
+  const MediumResult& ssd = results[1];
+  const MediumResult& ram = results[2];
+  report().metric("ram_vs_hdd_read_speedup", hdd.mean_read_s / ram.mean_read_s);
+  report().metric("ram_vs_ssd_read_speedup", ssd.mean_read_s / ram.mean_read_s);
 
   for (const MediumResult* r : {&hdd, &ssd, &ram}) {
     LogHistogram histogram(0.005, 2.0, 14);
@@ -58,4 +71,4 @@ void main_impl() {
 }  // namespace
 }  // namespace ignem::bench
 
-int main() { ignem::bench::main_impl(); }
+int main() { return ignem::bench::bench_main("fig1_block_reads", ignem::bench::main_impl); }

@@ -21,9 +21,19 @@ void print_cdf(const std::string& label, const Samples& samples) {
 void main_impl() {
   print_header("Fig. 2: mapper task runtimes by storage medium");
 
-  auto hdd = run_swim(RunMode::kHdfs, MediaType::kHdd);
-  auto ssd = run_swim(RunMode::kHdfs, MediaType::kSsd);
-  auto ram = run_swim(RunMode::kHdfsInputsInRam, MediaType::kHdd);
+  // Mode and media both vary, so this fans out through the sweep runner
+  // directly rather than via run_swim_modes.
+  const std::vector<std::pair<RunMode, MediaType>> cases = {
+      {RunMode::kHdfs, MediaType::kHdd},
+      {RunMode::kHdfs, MediaType::kSsd},
+      {RunMode::kHdfsInputsInRam, MediaType::kHdd}};
+  auto runs = run_indexed_sweep(
+      cases.size(),
+      [&](std::size_t i) { return run_swim(cases[i].first, cases[i].second); },
+      trace_requested() ? 1 : 0);
+  auto& hdd = runs[0];
+  auto& ssd = runs[1];
+  auto& ram = runs[2];
 
   const Samples hdd_tasks = hdd->metrics().task_durations_seconds(TaskKind::kMap);
   const Samples ssd_tasks = ssd->metrics().task_durations_seconds(TaskKind::kMap);
@@ -33,6 +43,8 @@ void main_impl() {
   print_cdf("SSD", ssd_tasks);
   print_cdf("RAM", ram_tasks);
 
+  report().metric("ram_vs_hdd_task_speedup", hdd_tasks.mean() / ram_tasks.mean());
+  report().metric("ram_vs_ssd_task_speedup", ssd_tasks.mean() / ram_tasks.mean());
   std::cout << "Mean task runtime RAM vs HDD: "
             << TextTable::fixed(hdd_tasks.mean() / ram_tasks.mean(), 1)
             << "x faster   (paper: ~23x)\n";
@@ -44,4 +56,4 @@ void main_impl() {
 }  // namespace
 }  // namespace ignem::bench
 
-int main() { ignem::bench::main_impl(); }
+int main() { return ignem::bench::bench_main("fig2_task_cdf", ignem::bench::main_impl); }

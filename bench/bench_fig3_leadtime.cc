@@ -5,6 +5,7 @@
 // the job starts reading — despite lead-time being a lower bound.
 #include <iostream>
 
+#include "bench/experiment_common.h"
 #include "common/histogram.h"
 #include "metrics/table.h"
 #include "trace/leadtime.h"
@@ -28,6 +29,8 @@ void main_impl() {
             << " s (paper: 8.8 s)\n\n";
 
   const Samples ratios = leadtime_ratios(trace);
+  report().metric("queue_time_median_s", queue.median());
+  report().metric("fully_migratable_fraction", ratios.fraction_at_most(1.0));
   std::cout << "CDF of read-time / lead-time:\n";
   for (const double x : {0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0}) {
     std::cout << "  ratio <= " << TextTable::fixed(x, 2) << " : "
@@ -41,4 +44,4 @@ void main_impl() {
 }  // namespace
 }  // namespace ignem::bench
 
-int main() { ignem::bench::main_impl(); }
+int main() { return ignem::bench::bench_main("fig3_leadtime", ignem::bench::main_impl); }

@@ -8,6 +8,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench/experiment_common.h"
 #include "common/stats.h"
 #include "metrics/table.h"
 #include "trace/disk_util.h"
@@ -42,6 +43,8 @@ void main_impl() {
   const auto mean_timeline = mean_utilization_timeline(trace, servers);
   Samples mean_s;
   for (const double v : mean_timeline) mean_s.add(v);
+  report().metric("mean40_max_util", mean_s.max());
+  report().metric("cluster_mean_util", mean_cluster_utilization(trace));
   std::cout << "40-server mean utilization: max over 24h = "
             << TextTable::percent(mean_s.max())
             << "   (paper: at most ~5%)\n";
@@ -54,4 +57,4 @@ void main_impl() {
 }  // namespace
 }  // namespace ignem::bench
 
-int main() { ignem::bench::main_impl(); }
+int main() { return ignem::bench::bench_main("fig4_disk_util", ignem::bench::main_impl); }

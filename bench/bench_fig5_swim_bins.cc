@@ -42,9 +42,15 @@ std::array<double, 3> binned_means(const RunMetrics& metrics) {
 void main_impl() {
   print_header("Fig. 5: mean job duration reduction by input-size bin");
 
-  const auto hdfs = binned_means(run_swim(RunMode::kHdfs)->metrics());
-  const auto ignem = binned_means(run_swim(RunMode::kIgnem)->metrics());
-  const auto ram = binned_means(run_swim(RunMode::kHdfsInputsInRam)->metrics());
+  const auto runs = run_swim_modes(
+      {RunMode::kHdfs, RunMode::kIgnem, RunMode::kHdfsInputsInRam});
+  const auto hdfs = binned_means(runs[0]->metrics());
+  const auto ignem = binned_means(runs[1]->metrics());
+  const auto ram = binned_means(runs[2]->metrics());
+  for (std::size_t b = 0; b < kBins.size(); ++b) {
+    report().metric("ignem_reduction_bin" + std::to_string(b),
+                    speedup(hdfs[b], ignem[b]));
+  }
 
   TextTable table({"Bin", "HDFS (s)", "Ignem reduction", "RAM reduction",
                    "Paper (Ignem)", "Paper (RAM, large)"});
@@ -62,4 +68,4 @@ void main_impl() {
 }  // namespace
 }  // namespace ignem::bench
 
-int main() { ignem::bench::main_impl(); }
+int main() { return ignem::bench::bench_main("fig5_swim_bins", ignem::bench::main_impl); }

@@ -11,8 +11,9 @@ namespace {
 void main_impl() {
   print_header("Fig. 6: block read duration CDF, HDFS vs Ignem");
 
-  auto hdfs = run_swim(RunMode::kHdfs);
-  auto ignem = run_swim(RunMode::kIgnem);
+  auto runs = run_swim_modes({RunMode::kHdfs, RunMode::kIgnem});
+  auto& hdfs = runs[0];
+  auto& ignem = runs[1];
 
   const Samples hdfs_reads = hdfs->metrics().block_read_seconds();
   const Samples ignem_reads = ignem->metrics().block_read_seconds();
@@ -25,6 +26,10 @@ void main_impl() {
   }
   std::cout << table.render() << "\n";
 
+  report().metric("mean_read_reduction",
+                  speedup(hdfs_reads.mean(), ignem_reads.mean()));
+  report().metric("memory_read_fraction",
+                  ignem->metrics().memory_read_fraction());
   std::cout << "Mean block read: HDFS "
             << TextTable::fixed(hdfs_reads.mean(), 3) << " s -> Ignem "
             << TextTable::fixed(ignem_reads.mean(), 3) << " s, reduction "
@@ -51,4 +56,4 @@ void main_impl() {
 }  // namespace
 }  // namespace ignem::bench
 
-int main() { ignem::bench::main_impl(); }
+int main() { return ignem::bench::bench_main("fig6_block_cdf", ignem::bench::main_impl); }

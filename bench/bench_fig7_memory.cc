@@ -24,8 +24,10 @@ Samples nonzero_memory_gib(const RunMetrics& metrics) {
 void main_impl() {
   print_header("Fig. 7: per-server migration memory, Ignem vs hypothetical");
 
-  auto ignem = run_swim(RunMode::kIgnem);
-  auto instant = run_swim(RunMode::kInstantMigration);
+  auto runs = run_swim_modes(
+      {RunMode::kIgnem, RunMode::kInstantMigration, RunMode::kHdfs});
+  auto& ignem = runs[0];
+  auto& instant = runs[1];
 
   const Samples ignem_mem = nonzero_memory_gib(ignem->metrics());
   const Samples instant_mem = nonzero_memory_gib(instant->metrics());
@@ -48,8 +50,9 @@ void main_impl() {
             << TextTable::fixed(instant_mem.mean() / ignem_mem.mean(), 1)
             << "x lower for Ignem   (paper: 2.6x)\n";
 
-  const double hdfs = run_swim(RunMode::kHdfs)->metrics()
-                          .mean_job_duration_seconds();
+  const double hdfs = runs[2]->metrics().mean_job_duration_seconds();
+  report().metric("ignem_mean_nonzero_mem_gib", ignem_mem.mean());
+  report().metric("instant_mean_nonzero_mem_gib", instant_mem.mean());
   const double ignem_jobs = ignem->metrics().mean_job_duration_seconds();
   const double instant_jobs = instant->metrics().mean_job_duration_seconds();
   std::cout << "Speedup: Ignem " << TextTable::percent(speedup(hdfs, ignem_jobs))
@@ -64,4 +67,4 @@ void main_impl() {
 }  // namespace
 }  // namespace ignem::bench
 
-int main() { ignem::bench::main_impl(); }
+int main() { return ignem::bench::bench_main("fig7_memory", ignem::bench::main_impl); }

@@ -22,30 +22,51 @@ double run_wordcount(RunMode mode, double input_gib, Duration extra_lead,
       testbed, "/wc/input-" + std::to_string(trial), gib(input_gib));
   spec.extra_lead_time = extra_lead;
   testbed.run_workload({{Duration::zero(), spec}});
+  report().add_run(testbed);
   return testbed.metrics().jobs()[0].duration.to_seconds();
 }
+
+constexpr double kSizesGib[] = {1.0, 2.0, 4.0, 8.0, 12.0};
 
 void main_impl() {
   print_header("Fig. 8: wordcount duration vs input size");
 
+  // 5 sizes x 4 configurations, fanned across the sweep runner; results
+  // come back in case order so the table assembles deterministically.
+  struct Case {
+    RunMode mode;
+    Duration lead;
+  };
+  const Case configs[] = {{RunMode::kHdfs, Duration::zero()},
+                          {RunMode::kHdfsInputsInRam, Duration::zero()},
+                          {RunMode::kIgnem, Duration::zero()},
+                          {RunMode::kIgnem, Duration::seconds(10)}};
+  const std::size_t cases = std::size(kSizesGib) * std::size(configs);
+  const std::vector<double> durations = run_indexed_sweep(
+      cases,
+      [&](std::size_t i) {
+        const std::size_t trial = i / std::size(configs);
+        const Case& c = configs[i % std::size(configs)];
+        return run_wordcount(c.mode, kSizesGib[trial], c.lead,
+                             static_cast<int>(trial));
+      },
+      trace_requested() ? 1 : 0);
+
   TextTable table({"Input", "HDFS (s)", "RAM (s)", "Ignem (s)",
                    "Ignem+10s (s)", "Ignem speedup", "Ignem+10s speedup"});
-  int trial = 0;
-  for (const double size : {1.0, 2.0, 4.0, 8.0, 12.0}) {
-    const double hdfs =
-        run_wordcount(RunMode::kHdfs, size, Duration::zero(), trial);
-    const double ram = run_wordcount(RunMode::kHdfsInputsInRam, size,
-                                     Duration::zero(), trial);
-    const double ignem =
-        run_wordcount(RunMode::kIgnem, size, Duration::zero(), trial);
-    const double ignem10 =
-        run_wordcount(RunMode::kIgnem, size, Duration::seconds(10), trial);
-    table.add_row({TextTable::fixed(size, 0) + " GB",
+  for (std::size_t trial = 0; trial < std::size(kSizesGib); ++trial) {
+    const double hdfs = durations[trial * 4 + 0];
+    const double ram = durations[trial * 4 + 1];
+    const double ignem = durations[trial * 4 + 2];
+    const double ignem10 = durations[trial * 4 + 3];
+    table.add_row({TextTable::fixed(kSizesGib[trial], 0) + " GB",
                    TextTable::fixed(hdfs, 1), TextTable::fixed(ram, 1),
                    TextTable::fixed(ignem, 1), TextTable::fixed(ignem10, 1),
                    TextTable::percent(speedup(hdfs, ignem)),
                    TextTable::percent(speedup(hdfs, ignem10))});
-    ++trial;
+    report().metric("ignem_speedup_gib" + std::to_string(static_cast<int>(
+                        kSizesGib[trial])),
+                    speedup(hdfs, ignem));
   }
   std::cout << table.render() << "\n";
   std::cout << "Expected shape: Ignem ~= RAM at small sizes, decaying after "
@@ -57,4 +78,4 @@ void main_impl() {
 }  // namespace
 }  // namespace ignem::bench
 
-int main() { ignem::bench::main_impl(); }
+int main() { return ignem::bench::bench_main("fig8_wordcount", ignem::bench::main_impl); }

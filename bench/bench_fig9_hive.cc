@@ -14,15 +14,22 @@ namespace {
 std::vector<HiveQueryResult> run_suite(RunMode mode) {
   Testbed testbed(paper_testbed(mode));
   HiveDriver driver(testbed);
-  return driver.run_all(tpcds_query_suite());
+  auto results = driver.run_all(tpcds_query_suite());
+  report().add_run(testbed);
+  return results;
 }
 
 void main_impl() {
   print_header("Fig. 9: Hive TPC-DS query durations and input sizes");
 
-  const auto hdfs = run_suite(RunMode::kHdfs);
-  const auto ignem = run_suite(RunMode::kIgnem);
-  const auto ram = run_suite(RunMode::kHdfsInputsInRam);
+  const RunMode modes[] = {RunMode::kHdfs, RunMode::kIgnem,
+                           RunMode::kHdfsInputsInRam};
+  auto suites = run_indexed_sweep(
+      std::size(modes), [&](std::size_t i) { return run_suite(modes[i]); },
+      trace_requested() ? 1 : 0);
+  const auto& hdfs = suites[0];
+  const auto& ignem = suites[1];
+  const auto& ram = suites[2];
 
   TextTable table({"Query", "Input", "HDFS (s)", "Ignem (s)", "RAM (s)",
                    "Ignem speedup"});
@@ -44,6 +51,9 @@ void main_impl() {
                    TextTable::fixed(ram[i].duration.to_seconds(), 1),
                    TextTable::percent(s)});
   }
+  report().metric("mean_ignem_speedup",
+                  speedup_sum / static_cast<double>(hdfs.size()));
+  report().metric("best_query_speedup", best);
   std::cout << table.render() << "\n";
   std::cout << "Mean Ignem speedup: "
             << TextTable::percent(speedup_sum / static_cast<double>(hdfs.size()))
@@ -54,4 +64,4 @@ void main_impl() {
 }  // namespace
 }  // namespace ignem::bench
 
-int main() { ignem::bench::main_impl(); }
+int main() { return ignem::bench::bench_main("fig9_hive", ignem::bench::main_impl); }

@@ -1,68 +1,289 @@
-// Google-benchmark microbenchmarks of the simulation substrate itself:
-// event dispatch, bandwidth-resource churn, migration-queue operations.
-// These guard the simulator's own performance; the paper artifacts are
-// regenerated by the driver binaries (simulated time is the metric there,
-// so google-benchmark's wall-clock timing applies to the engine, not the
-// experiments).
-#include <benchmark/benchmark.h>
+// Microbenchmarks of the simulation substrate itself, measured against the
+// preserved pre-rewrite kernel (bench/reference_kernel.h):
+//
+//   1. Event-queue churn: ~100k live events under a 40/30/30 push/cancel/pop
+//      mix — the indexed 4-ary heap's O(log n) cancel versus the tombstone
+//      scheme's hash probes and dead-entry sweeps.
+//   2. Raw dispatch throughput of the Simulator (push + drain), the figure
+//      scripts/perf_smoke.sh gates on.
+//   3. Bandwidth churn: start/abort against 1..512 background streams — the
+//      credit-set model's O(log n) per op versus the settle-everything
+//      model's O(n).
+//   4. Migration-queue churn (unchanged algorithm, kept for continuity).
+//
+// Identical pre-generated op scripts drive both implementations, timing is
+// wall-clock (steady_clock), and every headline number lands in
+// BENCH_microkernel.json via BenchReport.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
+#include "bench/experiment_common.h"
+#include "bench/reference_kernel.h"
+#include "common/rng.h"
 #include "core/migration_queue.h"
+#include "sim/event_queue.h"
 #include "sim/simulator.h"
 #include "storage/bandwidth_resource.h"
 
-namespace ignem {
+namespace ignem::bench {
 namespace {
 
-void BM_EventDispatch(benchmark::State& state) {
-  for (auto _ : state) {
-    Simulator sim;
-    const int n = static_cast<int>(state.range(0));
-    for (int i = 0; i < n; ++i) {
-      sim.schedule(Duration::micros(i), [] {});
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// 1. Event-queue churn.
+
+struct EventOp {
+  enum Kind : std::uint8_t { kPush, kCancel, kPop } kind;
+  std::int64_t when = 0;   // kPush
+  std::size_t victim = 0;  // kCancel: index into the push sequence
+};
+
+std::vector<EventOp> make_event_script(std::size_t prefill, std::size_t ops,
+                                       double cancel_frac) {
+  Rng rng(2024);
+  std::vector<EventOp> script;
+  script.reserve(prefill + ops);
+  std::size_t pushed = 0;
+  std::int64_t t = 0;
+  for (std::size_t i = 0; i < prefill; ++i) {
+    script.push_back({EventOp::kPush, t + rng.uniform_int(0, 1 << 20), 0});
+    ++pushed;
+  }
+  for (std::size_t i = 0; i < ops; ++i) {
+    const double roll = rng.next_double();
+    if (roll < cancel_frac && pushed > 0) {
+      // Bias victims toward recent pushes so most cancels hit live events
+      // (stale cancels are cheap in both implementations).
+      const std::size_t lo = pushed > 50000 ? pushed - 50000 : 0;
+      script.push_back(
+          {EventOp::kCancel, 0,
+           static_cast<std::size_t>(rng.uniform_int(
+               static_cast<int>(lo), static_cast<int>(pushed) - 1))});
+    } else if (roll < cancel_frac + 0.40) {
+      t += rng.uniform_int(0, 16);
+      script.push_back({EventOp::kPush, t + rng.uniform_int(0, 1 << 20), 0});
+      ++pushed;
+    } else {
+      script.push_back({EventOp::kPop, 0, 0});
     }
-    benchmark::DoNotOptimize(sim.run());
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+  return script;
 }
-BENCHMARK(BM_EventDispatch)->Arg(1000)->Arg(10000);
 
-void BM_SelfRescheduling(benchmark::State& state) {
-  for (auto _ : state) {
-    Simulator sim;
-    std::int64_t count = 0;
-    std::function<void()> tick = [&] {
-      if (++count < state.range(0)) sim.schedule(Duration::micros(1), tick);
-    };
-    sim.schedule(Duration::micros(1), tick);
-    sim.run();
-    benchmark::DoNotOptimize(count);
+/// Replays the script; returns a checksum so the work cannot be elided.
+template <typename Queue, typename Handle>
+std::uint64_t run_event_script(const std::vector<EventOp>& script) {
+  Queue queue;
+  std::vector<Handle> handles;
+  handles.reserve(script.size());
+  std::uint64_t checksum = 0;
+  for (const EventOp& op : script) {
+    switch (op.kind) {
+      case EventOp::kPush:
+        handles.push_back(queue.push(SimTime(op.when), [&checksum] {
+          ++checksum;
+        }));
+        break;
+      case EventOp::kCancel:
+        checksum += queue.cancel(handles[op.victim]) ? 1 : 0;
+        break;
+      case EventOp::kPop:
+        if (!queue.empty()) {
+          auto [when, action] = queue.pop();
+          checksum += static_cast<std::uint64_t>(when.count_micros());
+          action();
+        }
+        break;
+    }
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+  while (!queue.empty()) {
+    auto [when, action] = queue.pop();
+    checksum += static_cast<std::uint64_t>(when.count_micros());
+    action();
+  }
+  return checksum;
 }
-BENCHMARK(BM_SelfRescheduling)->Arg(10000);
 
-void BM_BandwidthContention(benchmark::State& state) {
-  for (auto _ : state) {
+void bench_event_churn(BenchReport& report) {
+  constexpr std::size_t kPrefill = 100000;
+  constexpr std::size_t kOps = 400000;
+  const std::vector<EventOp> script = make_event_script(kPrefill, kOps, 0.30);
+  const auto total_ops = static_cast<double>(script.size());
+
+  // Warm both paths once, then measure.
+  run_event_script<EventQueue, EventHandle>(script);
+  auto start = std::chrono::steady_clock::now();
+  const std::uint64_t new_sum =
+      run_event_script<EventQueue, EventHandle>(script);
+  const double new_secs = seconds_since(start);
+
+  run_event_script<reference::ReferenceEventQueue, std::uint64_t>(script);
+  start = std::chrono::steady_clock::now();
+  const std::uint64_t ref_sum =
+      run_event_script<reference::ReferenceEventQueue, std::uint64_t>(script);
+  const double ref_secs = seconds_since(start);
+
+  IGNEM_CHECK(new_sum == ref_sum);
+  const double new_ops = total_ops / new_secs;
+  const double ref_ops = total_ops / ref_secs;
+  const double speedup = new_ops / ref_ops;
+  std::printf(
+      "event churn   (%zu live, 30%% cancel): indexed heap %10.0f ops/s "
+      "(%.3f s)  tombstone %10.0f ops/s (%.3f s)  speedup %.2fx %s\n",
+      kPrefill, new_ops, new_secs, ref_ops, ref_secs, speedup,
+      speedup >= 2.0 ? "[>=2x OK]" : "[BELOW 2x TARGET]");
+  report.metric("event_churn_ops", total_ops);
+  report.metric("event_churn_new_ops_per_sec", new_ops);
+  report.metric("event_churn_ref_ops_per_sec", ref_ops);
+  report.metric("event_churn_speedup", speedup);
+}
+
+// ---------------------------------------------------------------------------
+// 2. Raw dispatch throughput.
+
+void bench_dispatch(BenchReport& report) {
+  constexpr int kEvents = 1000000;
+  Rng rng(7);
+  Simulator sim;
+  std::uint64_t fired = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kEvents; ++i) {
+    sim.schedule(Duration::micros(rng.uniform_int(0, 1 << 20)),
+                 [&fired] { ++fired; });
+  }
+  sim.run();
+  const double secs = seconds_since(start);
+  IGNEM_CHECK(fired == kEvents);
+  const double per_sec = kEvents / secs;
+  std::printf("event dispatch (%d push+drain):        %10.0f events/s (%.3f s)\n",
+              kEvents, per_sec, secs);
+  report.metric("dispatch_events_per_sec", per_sec);
+  report.add_events(sim.events_dispatched());
+}
+
+// ---------------------------------------------------------------------------
+// 3. Bandwidth churn at n background streams.
+
+BandwidthProfile churn_profile() {
+  BandwidthProfile profile;
+  profile.sequential_bw = mib_per_sec(144);
+  profile.degradation = 0.4;
+  return profile;
+}
+
+template <typename Resource, typename Handle, typename MakeResource>
+double time_bandwidth_churn(std::size_t background, int churn_ops,
+                            MakeResource make) {
+  Simulator sim;
+  auto res = make(sim);
+  // Distinct sizes: identically-sized streams all tie at the minimum credit
+  // and the candidate band degenerates to the whole set (still correct,
+  // just not the fast path being measured here).
+  for (std::size_t i = 0; i < background; ++i) {
+    res.start(1 * kTiB + static_cast<Bytes>(i) * kMiB, [] {});
+  }
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < churn_ops; ++i) {
+    const Handle h = res.start(64 * kMiB, [] {});
+    res.abort(h);
+  }
+  const double secs = seconds_since(start);
+  return secs / churn_ops * 1e9;  // ns per start+abort pair
+}
+
+void bench_bandwidth_churn(BenchReport& report) {
+  constexpr int kChurnOps = 20000;
+  std::printf("bandwidth churn (start+abort vs n background streams):\n");
+  std::printf("  %8s %16s %16s\n", "n", "credit-set ns/op", "settle-all ns/op");
+  double new_n1 = 0, new_n512 = 0, ref_n1 = 0, ref_n512 = 0;
+  for (std::size_t n = 1; n <= 512; n *= 2) {
+    const double new_ns =
+        time_bandwidth_churn<SharedBandwidthResource, TransferHandle>(
+            n, kChurnOps, [](Simulator& sim) {
+              return SharedBandwidthResource(sim, "bench", churn_profile());
+            });
+    const double ref_ns =
+        time_bandwidth_churn<reference::ReferenceBandwidthResource,
+                             std::uint64_t>(
+            n, kChurnOps, [](Simulator& sim) {
+              return reference::ReferenceBandwidthResource(sim,
+                                                           churn_profile());
+            });
+    std::printf("  %8zu %16.0f %16.0f\n", n, new_ns, ref_ns);
+    if (n == 1) {
+      new_n1 = new_ns;
+      ref_n1 = ref_ns;
+    }
+    if (n == 512) {
+      new_n512 = new_ns;
+      ref_n512 = ref_ns;
+    }
+    report.metric("bw_churn_new_ns_per_op_n" + std::to_string(n), new_ns);
+    report.metric("bw_churn_ref_ns_per_op_n" + std::to_string(n), ref_ns);
+  }
+  // O(log n) vs O(n): going 1 -> 512 streams should multiply the reference's
+  // per-op cost by ~hundreds but the credit-set model's by a small factor.
+  std::printf(
+      "  cost growth 1 -> 512 streams: credit-set %.1fx, settle-all %.1fx "
+      "(log2(512) = 9)\n",
+      new_n512 / new_n1, ref_n512 / ref_n1);
+  report.metric("bw_churn_growth_new", new_n512 / new_n1);
+  report.metric("bw_churn_growth_ref", ref_n512 / ref_n1);
+
+  // Completion-heavy variant: ragged sizes run to drain, exercising the
+  // lazy-replay path end to end (and its equivalence checksum).
+  constexpr std::size_t kDrainStreams = 256;
+  Rng rng(11);
+  std::vector<Bytes> sizes;
+  for (std::size_t i = 0; i < kDrainStreams; ++i) {
+    sizes.push_back(rng.uniform_int(1, 64) * kMiB + rng.uniform_int(0, 4095));
+  }
+  const auto run_drain = [&sizes](auto make) {
     Simulator sim;
-    BandwidthProfile profile;
-    profile.sequential_bw = mib_per_sec(100);
-    profile.degradation = 0.1;
-    SharedBandwidthResource res(sim, "bench", profile);
-    const int n = static_cast<int>(state.range(0));
-    for (int i = 0; i < n; ++i) {
-      res.start((i + 1) * kMiB, [] {});
+    auto res = make(sim);
+    int completed = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (const Bytes bytes : sizes) {
+      res.start(bytes, [&completed] { ++completed; });
     }
     sim.run();
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+    IGNEM_CHECK(completed == static_cast<int>(sizes.size()));
+    return std::pair(seconds_since(start), sim.now().count_micros());
+  };
+  const auto [new_secs, new_end] = run_drain([](Simulator& sim) {
+    return SharedBandwidthResource(sim, "bench", churn_profile());
+  });
+  const auto [ref_secs, ref_end] = run_drain([](Simulator& sim) {
+    return reference::ReferenceBandwidthResource(sim, churn_profile());
+  });
+  IGNEM_CHECK(new_end == ref_end);  // bit-identical completion schedule
+  std::printf(
+      "bandwidth drain (%zu ragged streams to completion): credit-set %.3f s, "
+      "settle-all %.3f s, identical end time %lld us\n",
+      kDrainStreams, new_secs, ref_secs, static_cast<long long>(new_end));
+  report.metric("bw_drain_new_seconds", new_secs);
+  report.metric("bw_drain_ref_seconds", ref_secs);
 }
-BENCHMARK(BM_BandwidthContention)->Arg(16)->Arg(128);
 
-void BM_MigrationQueueChurn(benchmark::State& state) {
-  for (auto _ : state) {
+// ---------------------------------------------------------------------------
+// 4. Migration-queue churn.
+
+void bench_migration_queue(BenchReport& report) {
+  constexpr int kEntries = 1024;
+  constexpr int kRounds = 200;
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t popped = 0;
+  for (int round = 0; round < kRounds; ++round) {
     MigrationQueue queue(MigrationPolicy::kSmallestJobFirst);
-    const int n = static_cast<int>(state.range(0));
-    for (int i = 0; i < n; ++i) {
+    for (int i = 0; i < kEntries; ++i) {
       PendingMigration m;
       m.block = BlockId(i);
       m.bytes = 64 * kMiB;
@@ -71,14 +292,24 @@ void BM_MigrationQueueChurn(benchmark::State& state) {
       m.arrival_seq = static_cast<std::uint64_t>(i) + 1;
       queue.push(m);
     }
-    while (queue.pop().has_value()) {
-    }
+    while (queue.pop().has_value()) ++popped;
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+  const double secs = seconds_since(start);
+  const double per_sec = static_cast<double>(popped) * 2 / secs;
+  std::printf("migration queue (%d x %d push+pop):    %10.0f ops/s (%.3f s)\n",
+              kRounds, kEntries, per_sec, secs);
+  report.metric("migration_queue_ops_per_sec", per_sec);
 }
-BENCHMARK(BM_MigrationQueueChurn)->Arg(1024);
+
+void main_impl() {
+  print_header("Microkernel: DES engine vs pre-rewrite reference");
+  bench_event_churn(report());
+  bench_dispatch(report());
+  bench_bandwidth_churn(report());
+  bench_migration_queue(report());
+}
 
 }  // namespace
-}  // namespace ignem
+}  // namespace ignem::bench
 
-BENCHMARK_MAIN();
+int main() { return ignem::bench::bench_main("microkernel", ignem::bench::main_impl); }

@@ -14,6 +14,7 @@ void main_impl() {
   Testbed testbed(paper_testbed(RunMode::kHdfs));
   HiveDriver driver(testbed);
   driver.run_all(tpcds_query_suite());
+  report().add_run(testbed);
 
   double map_seconds = 0, reduce_seconds = 0;
   for (const auto& task : testbed.metrics().tasks()) {
@@ -23,6 +24,8 @@ void main_impl() {
       reduce_seconds += task.duration.to_seconds();
     }
   }
+  report().metric("map_runtime_fraction",
+                  map_seconds / (map_seconds + reduce_seconds));
   std::cout << "Map tasks account for "
             << TextTable::percent(map_seconds /
                                   (map_seconds + reduce_seconds))
@@ -43,4 +46,4 @@ void main_impl() {
 }  // namespace
 }  // namespace ignem::bench
 
-int main() { ignem::bench::main_impl(); }
+int main() { return ignem::bench::bench_main("motivation_stages", ignem::bench::main_impl); }

@@ -26,38 +26,50 @@ double iterative_mean_job(RunMode mode) {
     jobs.push_back(job);
   }
   testbed.run_workload(std::move(jobs));
+  report().add_run(testbed);
   return testbed.metrics().mean_job_duration_seconds();
 }
 
 void main_impl() {
   print_header("Related work (SV): hot-data promotion vs Ignem");
 
+  const std::vector<RunMode> modes = {RunMode::kHdfs,
+                                      RunMode::kHotDataPromotion,
+                                      RunMode::kIgnem};
+
   std::cout << "(a) SWIM — cold, singly-read inputs\n\n";
   TextTable swim_table({"Scheme", "Mean job (s)", "Speedup", "Memory reads"});
-  double hdfs_mean = 0;
-  for (const RunMode mode :
-       {RunMode::kHdfs, RunMode::kHotDataPromotion, RunMode::kIgnem}) {
-    auto testbed = run_swim(mode);
-    const double mean = testbed->metrics().mean_job_duration_seconds();
-    if (mode == RunMode::kHdfs) hdfs_mean = mean;
+  const auto runs = run_swim_modes(modes);
+  const double hdfs_mean = runs[0]->metrics().mean_job_duration_seconds();
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    const double mean = runs[i]->metrics().mean_job_duration_seconds();
     swim_table.add_row(
-        {run_mode_name(mode), TextTable::fixed(mean, 2),
-         mode == RunMode::kHdfs ? "-"
-                                : TextTable::percent(speedup(hdfs_mean, mean)),
-         TextTable::percent(testbed->metrics().memory_read_fraction())});
+        {run_mode_name(modes[i]), TextTable::fixed(mean, 2),
+         i == 0 ? "-" : TextTable::percent(speedup(hdfs_mean, mean)),
+         TextTable::percent(runs[i]->metrics().memory_read_fraction())});
   }
+  report().metric(
+      "swim_hotdata_speedup",
+      speedup(hdfs_mean, runs[1]->metrics().mean_job_duration_seconds()));
+  report().metric(
+      "swim_ignem_speedup",
+      speedup(hdfs_mean, runs[2]->metrics().mean_job_duration_seconds()));
   std::cout << swim_table.render() << "\n";
 
   std::cout << "(b) Iterative — five passes over one 2 GB dataset\n\n";
   TextTable iter_table({"Scheme", "Mean pass (s)", "Speedup"});
-  const double iter_hdfs = iterative_mean_job(RunMode::kHdfs);
+  const std::vector<double> iter = run_indexed_sweep(
+      modes.size(),
+      [&](std::size_t i) { return iterative_mean_job(modes[i]); },
+      trace_requested() ? 1 : 0);
+  const double iter_hdfs = iter[0];
   iter_table.add_row({"HDFS", TextTable::fixed(iter_hdfs, 2), "-"});
-  for (const RunMode mode :
-       {RunMode::kHotDataPromotion, RunMode::kIgnem}) {
-    const double mean = iterative_mean_job(mode);
-    iter_table.add_row({run_mode_name(mode), TextTable::fixed(mean, 2),
-                        TextTable::percent(speedup(iter_hdfs, mean))});
+  for (std::size_t i = 1; i < modes.size(); ++i) {
+    iter_table.add_row({run_mode_name(modes[i]), TextTable::fixed(iter[i], 2),
+                        TextTable::percent(speedup(iter_hdfs, iter[i]))});
   }
+  report().metric("iter_hotdata_speedup", speedup(iter_hdfs, iter[1]));
+  report().metric("iter_ignem_speedup", speedup(iter_hdfs, iter[2]));
   std::cout << iter_table.render() << "\n";
 
   std::cout << "Hot-data promotion buys nothing on singly-read inputs (the "
@@ -69,4 +81,4 @@ void main_impl() {
 }  // namespace
 }  // namespace ignem::bench
 
-int main() { ignem::bench::main_impl(); }
+int main() { return ignem::bench::bench_main("related_hotdata", ignem::bench::main_impl); }

@@ -11,12 +11,15 @@ namespace {
 void main_impl() {
   print_header("Table I: SWIM mean job duration");
 
-  const double hdfs = run_swim(RunMode::kHdfs)->metrics()
-                          .mean_job_duration_seconds();
-  const double ignem = run_swim(RunMode::kIgnem)->metrics()
-                           .mean_job_duration_seconds();
-  const double ram = run_swim(RunMode::kHdfsInputsInRam)->metrics()
-                         .mean_job_duration_seconds();
+  const auto runs = run_swim_modes(
+      {RunMode::kHdfs, RunMode::kIgnem, RunMode::kHdfsInputsInRam});
+  const double hdfs = runs[0]->metrics().mean_job_duration_seconds();
+  const double ignem = runs[1]->metrics().mean_job_duration_seconds();
+  const double ram = runs[2]->metrics().mean_job_duration_seconds();
+  report().metric("hdfs_mean_job_s", hdfs);
+  report().metric("ignem_mean_job_s", ignem);
+  report().metric("ram_mean_job_s", ram);
+  report().metric("ignem_speedup", speedup(hdfs, ignem));
 
   TextTable table({"Configuration", "Mean job duration (s)",
                    "Speedup w.r.t. HDFS", "Paper"});
@@ -35,4 +38,4 @@ void main_impl() {
 }  // namespace
 }  // namespace ignem::bench
 
-int main() { ignem::bench::main_impl(); }
+int main() { return ignem::bench::bench_main("table1_swim", ignem::bench::main_impl); }

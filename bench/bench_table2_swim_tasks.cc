@@ -11,12 +11,15 @@ namespace {
 void main_impl() {
   print_header("Table II: SWIM mean mapper task duration");
 
-  const double hdfs =
-      run_swim(RunMode::kHdfs)->metrics().mean_map_task_seconds();
-  const double ignem =
-      run_swim(RunMode::kIgnem)->metrics().mean_map_task_seconds();
-  const double ram =
-      run_swim(RunMode::kHdfsInputsInRam)->metrics().mean_map_task_seconds();
+  const auto runs = run_swim_modes(
+      {RunMode::kHdfs, RunMode::kIgnem, RunMode::kHdfsInputsInRam});
+  const double hdfs = runs[0]->metrics().mean_map_task_seconds();
+  const double ignem = runs[1]->metrics().mean_map_task_seconds();
+  const double ram = runs[2]->metrics().mean_map_task_seconds();
+  report().metric("hdfs_mean_task_s", hdfs);
+  report().metric("ignem_mean_task_s", ignem);
+  report().metric("ram_mean_task_s", ram);
+  report().metric("ignem_speedup", speedup(hdfs, ignem));
 
   TextTable table({"Configuration", "Mean mapper duration (s)",
                    "Speedup w.r.t. HDFS", "Paper"});
@@ -31,4 +34,4 @@ void main_impl() {
 }  // namespace
 }  // namespace ignem::bench
 
-int main() { ignem::bench::main_impl(); }
+int main() { return ignem::bench::bench_main("table2_swim_tasks", ignem::bench::main_impl); }

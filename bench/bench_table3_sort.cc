@@ -14,15 +14,24 @@ double run_sort(RunMode mode) {
   Testbed testbed(paper_testbed(mode));
   const JobSpec spec = make_sort_job(testbed, "/sort/input", 40 * kGiB);
   testbed.run_workload({{Duration::zero(), spec}});
+  report().add_run(testbed);
   return testbed.metrics().jobs()[0].duration.to_seconds();
 }
 
 void main_impl() {
   print_header("Table III: 40 GB sort");
 
-  const double hdfs = run_sort(RunMode::kHdfs);
-  const double ignem = run_sort(RunMode::kIgnem);
-  const double ram = run_sort(RunMode::kHdfsInputsInRam);
+  const RunMode modes[] = {RunMode::kHdfs, RunMode::kIgnem,
+                           RunMode::kHdfsInputsInRam};
+  const std::vector<double> runs = run_indexed_sweep(
+      std::size(modes), [&](std::size_t i) { return run_sort(modes[i]); },
+      trace_requested() ? 1 : 0);
+  const double hdfs = runs[0];
+  const double ignem = runs[1];
+  const double ram = runs[2];
+  report().metric("hdfs_sort_s", hdfs);
+  report().metric("ignem_sort_s", ignem);
+  report().metric("ignem_sort_speedup", speedup(hdfs, ignem));
 
   TextTable table({"Configuration", "Duration (s)", "Speedup w.r.t. HDFS",
                    "Paper"});
@@ -37,4 +46,4 @@ void main_impl() {
 }  // namespace
 }  // namespace ignem::bench
 
-int main() { ignem::bench::main_impl(); }
+int main() { return ignem::bench::bench_main("table3_sort", ignem::bench::main_impl); }

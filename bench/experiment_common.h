@@ -8,11 +8,17 @@
 // macro experiments — Tables I-III and Figs. 5-9 are emergent.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "bench/sweep_runner.h"
 #include "core/testbed.h"
 #include "metrics/table.h"
 #include "workload/swim.h"
@@ -21,14 +27,20 @@ namespace ignem::bench {
 
 /// Benches record a full event trace when IGNEM_TRACE_OUT=<path> is set;
 /// maybe_dump_trace() writes it as JSONL after the run (docs/TRACING.md).
-inline bool trace_requested() {
-  const char* path = std::getenv("IGNEM_TRACE_OUT");
-  return path != nullptr && *path != '\0';
+/// The environment is read once — callers get a stable pointer (or null).
+inline const char* trace_out_path() {
+  static const char* path = [] {
+    const char* p = std::getenv("IGNEM_TRACE_OUT");
+    return (p != nullptr && *p != '\0') ? p : nullptr;
+  }();
+  return path;
 }
 
+inline bool trace_requested() { return trace_out_path() != nullptr; }
+
 inline void maybe_dump_trace(Testbed& testbed) {
-  if (!trace_requested() || testbed.trace() == nullptr) return;
-  const char* path = std::getenv("IGNEM_TRACE_OUT");
+  const char* path = trace_out_path();
+  if (path == nullptr || testbed.trace() == nullptr) return;
   std::ofstream out(path, std::ios::trunc);
   if (!out.good()) {
     std::cerr << "[trace] cannot open " << path << "\n";
@@ -37,6 +49,89 @@ inline void maybe_dump_trace(Testbed& testbed) {
   testbed.trace()->write_jsonl(out);
   std::cout << "[trace] " << testbed.trace()->size() << " events -> " << path
             << " (hash " << testbed.trace_hash() << ")\n";
+}
+
+/// Collects a bench's headline numbers and writes BENCH_<name>.json on
+/// destruction: wall-clock, total kernel events dispatched across every run
+/// (an ops/sec figure for the DES engine itself), and the bench's own
+/// metrics. add_events() is atomic so parallel sweep workers can feed it.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  ~BenchReport() { write(); }
+
+  void metric(std::string key, double value) {
+    metrics_.emplace_back(std::move(key), value);
+  }
+
+  void add_events(std::uint64_t n) {
+    kernel_events_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Convenience: credit a finished run's dispatched events.
+  void add_run(Testbed& testbed) {
+    add_events(testbed.sim().events_dispatched());
+  }
+
+  void write() {
+    if (written_) return;
+    written_ = true;
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    const auto events = static_cast<double>(kernel_events_.load());
+    const std::string file = "BENCH_" + name_ + ".json";
+    std::ofstream out(file, std::ios::trunc);
+    if (!out.good()) {
+      std::cerr << "[bench-json] cannot open " << file << "\n";
+      return;
+    }
+    out << "{\n  \"bench\": \"" << name_ << "\",\n";
+    out << "  \"wall_seconds\": " << wall << ",\n";
+    out << "  \"kernel_events\": " << kernel_events_.load() << ",\n";
+    out << "  \"kernel_events_per_sec\": " << (wall > 0 ? events / wall : 0)
+        << ",\n";
+    out << "  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n") << "    \"" << metrics_[i].first
+          << "\": " << metrics_[i].second;
+    }
+    out << (metrics_.empty() ? "}" : "\n  }") << "\n}\n";
+    std::cout << "[bench-json] wrote " << file << "\n";
+  }
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint64_t> kernel_events_{0};
+  std::vector<std::pair<std::string, double>> metrics_;
+  bool written_ = false;
+};
+
+namespace detail {
+inline BenchReport* g_report = nullptr;
+}  // namespace detail
+
+/// The active bench's report (valid inside bench_main). run_swim() credits
+/// kernel events to it automatically.
+inline BenchReport& report() {
+  IGNEM_CHECK(detail::g_report != nullptr);
+  return *detail::g_report;
+}
+
+/// Uniform bench entry point: wraps the body in a BenchReport so every
+/// bench writes BENCH_<name>.json (wall clock, kernel events/sec, metrics).
+inline int bench_main(const char* name, void (*body)()) {
+  BenchReport bench_report(name);
+  detail::g_report = &bench_report;
+  body();
+  detail::g_report = nullptr;
+  return 0;
 }
 
 /// The paper's 8-server cluster (§IV-A).
@@ -67,11 +162,26 @@ inline SwimConfig paper_swim() { return SwimConfig{}; }
 /// Runs the SWIM workload under a mode and returns the testbed (metrics
 /// inside). Deterministic: same seed => same workload across modes.
 inline std::unique_ptr<Testbed> run_swim(RunMode mode,
-                                         MediaType media = MediaType::kHdd) {
+                                         MediaType media = MediaType::kHdd,
+                                         BenchReport* report = nullptr) {
   auto testbed = std::make_unique<Testbed>(paper_testbed(mode, media));
   testbed->run_workload(build_swim_workload(*testbed, paper_swim()));
   maybe_dump_trace(*testbed);
+  if (report == nullptr) report = detail::g_report;
+  if (report != nullptr) report->add_run(*testbed);
   return testbed;
+}
+
+/// Runs the SWIM workload under several modes through the parallel sweep
+/// runner; results come back in `modes` order regardless of worker count.
+/// Falls back to one worker when tracing (the dump shares one output path).
+inline std::vector<std::unique_ptr<Testbed>> run_swim_modes(
+    const std::vector<RunMode>& modes, MediaType media = MediaType::kHdd,
+    BenchReport* report = nullptr) {
+  return run_indexed_sweep(
+      modes.size(),
+      [&](std::size_t i) { return run_swim(modes[i], media, report); },
+      trace_requested() ? 1 : 0);
 }
 
 inline void print_header(const std::string& title) {

@@ -1,0 +1,16 @@
+#include "bench/sweep_runner.h"
+
+#include <cstdlib>
+
+namespace ignem::bench {
+
+std::size_t sweep_thread_count() {
+  if (const char* env = std::getenv("IGNEM_SWEEP_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace ignem::bench

@@ -1,0 +1,203 @@
+// Small-buffer-optimized move-only callback, the simulation kernel's event
+// payload type.
+//
+// Every scheduled event and every transfer-completion callback used to be a
+// std::function<void()>: one heap allocation per schedule once captures
+// exceed std::function's tiny inline buffer, plus copy-constructibility the
+// kernel never needs. SmallFunction stores the common capture shapes used by
+// src/storage, src/dfs, src/cluster, and src/core (a `this` pointer plus a
+// few ids/byte counts) inline — the hot schedule/dispatch path performs no
+// allocation at all. Larger captures spill to a slab: fixed-size blocks
+// recycled through a thread-local free list, so even spill-heavy workloads
+// settle into steady-state reuse instead of hammering the global allocator.
+//
+// Move-only by design (events fire once and the queue is the only owner);
+// any callable is accepted, including move-only lambdas that std::function
+// rejects. Thread safety matches the simulator's contract: a SmallFunction
+// is created, invoked, and destroyed on one thread. Distinct threads (the
+// bench sweep runner fans one Testbed per worker) each get their own slab
+// free list, so cross-thread sweeps need no locking.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ignem {
+
+namespace detail {
+
+/// Spill blocks come in one fixed size: large enough for every capture the
+/// stack produces today, small enough to recycle without size classes.
+/// Callables larger still fall through to plain operator new.
+inline constexpr std::size_t kSlabBlockBytes = 256;
+inline constexpr std::size_t kSlabFreeListCap = 1024;
+
+/// Thread-local pool of spill blocks. Blocks are interchangeable raw
+/// memory, so a block freed on a different thread than it was allocated on
+/// (which the kernel never does, but is harmless) just migrates pools.
+class CallbackSlab {
+ public:
+  ~CallbackSlab() {
+    for (void* block : free_) ::operator delete(block);
+  }
+
+  void* allocate() {
+    if (!free_.empty()) {
+      void* block = free_.back();
+      free_.pop_back();
+      return block;
+    }
+    return ::operator new(kSlabBlockBytes);
+  }
+
+  void deallocate(void* block) {
+    if (free_.size() < kSlabFreeListCap) {
+      free_.push_back(block);
+    } else {
+      ::operator delete(block);
+    }
+  }
+
+  static CallbackSlab& local() {
+    thread_local CallbackSlab slab;
+    return slab;
+  }
+
+ private:
+  std::vector<void*> free_;
+};
+
+inline void* spill_alloc(std::size_t bytes) {
+  if (bytes <= kSlabBlockBytes) return CallbackSlab::local().allocate();
+  return ::operator new(bytes);
+}
+
+inline void spill_free(void* block, std::size_t bytes) {
+  if (bytes <= kSlabBlockBytes) {
+    CallbackSlab::local().deallocate(block);
+  } else {
+    ::operator delete(block);
+  }
+}
+
+}  // namespace detail
+
+/// Move-only `void()` callable with inline storage for small captures.
+class SmallFunction {
+ public:
+  /// Inline capacity: fits a `this` pointer plus ~5 words of ids, byte
+  /// counts, and small handles — the kernel's common capture shapes.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  SmallFunction() = default;
+  SmallFunction(std::nullptr_t) {}  // NOLINT: match std::function's interface
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFunction(F&& f) {  // NOLINT: implicit, like std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(inline_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      void* block = detail::spill_alloc(sizeof(Fn));
+      try {
+        ::new (block) Fn(std::forward<F>(f));
+      } catch (...) {
+        detail::spill_free(block, sizeof(Fn));
+        throw;
+      }
+      spill_ = block;
+      ops_ = &spill_ops<Fn>;
+    }
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { move_from(other); }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { reset(); }
+
+  void operator()() { ops_->invoke(target()); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  bool operator==(std::nullptr_t) const { return ops_ == nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-constructs dst's storage from src and destroys src's callable.
+    /// Null for spilled callables: the block pointer is stolen instead.
+    void (*relocate)(unsigned char* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](unsigned char* dst, void* src) {
+        Fn* from = static_cast<Fn*>(src);
+        ::new (static_cast<void*>(dst)) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops spill_ops = {
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      nullptr,
+      [](void* p) {
+        static_cast<Fn*>(p)->~Fn();
+        detail::spill_free(p, sizeof(Fn));
+      },
+  };
+
+  void* target() { return spill_ != nullptr ? spill_ : inline_; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(target());
+      ops_ = nullptr;
+      spill_ = nullptr;
+    }
+  }
+
+  void move_from(SmallFunction& other) noexcept {
+    ops_ = other.ops_;
+    spill_ = other.spill_;
+    if (ops_ != nullptr && ops_->relocate != nullptr) {
+      ops_->relocate(inline_, other.inline_);
+    }
+    other.ops_ = nullptr;
+    other.spill_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char inline_[kInlineBytes];
+  void* spill_ = nullptr;
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace ignem

@@ -79,6 +79,7 @@ using Bytes = std::int64_t;
 inline constexpr Bytes kKiB = 1024;
 inline constexpr Bytes kMiB = 1024 * kKiB;
 inline constexpr Bytes kGiB = 1024 * kMiB;
+inline constexpr Bytes kTiB = 1024 * kGiB;
 
 constexpr Bytes mib(double v) { return static_cast<Bytes>(v * static_cast<double>(kMiB)); }
 constexpr Bytes gib(double v) { return static_cast<Bytes>(v * static_cast<double>(kGiB)); }

@@ -1,41 +1,114 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace ignem {
 
+std::uint32_t EventQueue::acquire_slot(Action action) {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].action = std::move(action);
+    return slot;
+  }
+  IGNEM_CHECK(slots_.size() < kNoSlot);
+  slots_.push_back(Slot{});
+  slots_.back().action = std::move(action);
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.action = nullptr;      // destroy the callable now, not at slot reuse
+  ++s.gen;                 // invalidate outstanding handles
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
 EventHandle EventQueue::push(SimTime when, Action action) {
   IGNEM_CHECK(action != nullptr);
-  const EventHandle handle(next_seq_++);
-  heap_.push(Entry{when, handle.seq(), std::move(action)});
-  live_.insert(handle.seq());
-  return handle;
+  const std::uint32_t slot = acquire_slot(std::move(action));
+  const std::uint64_t seq = next_seq_++;
+  heap_.emplace_back();  // grow; place() fills it
+  sift_up(heap_.size() - 1, HeapEntry{when.count_micros(), seq, slot});
+  return EventHandle(pack(slot, slots_[slot].gen));
 }
 
 bool EventQueue::cancel(EventHandle handle) {
   if (!handle.valid()) return false;
-  return live_.erase(handle.seq()) > 0;
+  const std::uint32_t slot = static_cast<std::uint32_t>((handle.raw() >> 32) - 1);
+  const std::uint32_t gen = static_cast<std::uint32_t>(handle.raw());
+  if (slot >= slots_.size() || slots_[slot].gen != gen) return false;
+  const std::uint32_t pos = slots_[slot].heap_pos;
+  release_slot(slot);
+  remove_at(pos);
+  return true;
 }
 
-void EventQueue::drop_cancelled() {
-  while (!heap_.empty() && !live_.contains(heap_.top().seq)) {
-    heap_.pop();
-  }
-}
-
-SimTime EventQueue::next_time() {
-  drop_cancelled();
+SimTime EventQueue::next_time() const {
   IGNEM_CHECK(!heap_.empty());
-  return heap_.top().when;
+  return SimTime(heap_.front().when_micros);
 }
 
 std::pair<SimTime, EventQueue::Action> EventQueue::pop() {
-  drop_cancelled();
   IGNEM_CHECK(!heap_.empty());
-  Entry top = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
-  live_.erase(top.seq);
-  return {top.when, std::move(top.action)};
+  const HeapEntry top = heap_.front();
+  std::pair<SimTime, Action> result{SimTime(top.when_micros),
+                                    std::move(slots_[top.slot].action)};
+  // The action has been moved out; release still clears the husk.
+  release_slot(top.slot);
+  remove_at(0);
+  return result;
+}
+
+void EventQueue::remove_at(std::size_t pos) {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;  // removed the tail entry itself
+  // The displaced tail entry may belong above or below `pos`.
+  if (pos > 0 && last.before(heap_[(pos - 1) / 4])) {
+    sift_up(pos, last);
+  } else {
+    sift_down(pos, last);
+  }
+}
+
+void EventQueue::place(std::size_t pos, HeapEntry entry) {
+  heap_[pos] = entry;
+  slots_[entry.slot].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void EventQueue::sift_up(std::size_t pos, HeapEntry entry) {
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!entry.before(heap_[parent])) break;
+    place(pos, heap_[parent]);
+    pos = parent;
+  }
+  place(pos, entry);
+}
+
+void EventQueue::sift_down(std::size_t pos, HeapEntry entry) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t best = 0;
+    const HeapEntry* best_entry = &entry;
+    const std::size_t first_child = pos * 4 + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + 4, n);
+    for (std::size_t c = first_child; c < last_child; ++c) {
+      if (heap_[c].before(*best_entry)) {
+        best = c;
+        best_entry = &heap_[c];
+      }
+    }
+    if (best == 0) break;
+    place(pos, heap_[best]);
+    pos = best;
+  }
+  place(pos, entry);
 }
 
 }  // namespace ignem

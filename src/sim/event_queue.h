@@ -1,81 +1,112 @@
 // Pending-event set for the discrete-event simulator.
 //
-// A binary min-heap keyed by (time, sequence). The sequence number makes
-// ordering of simultaneous events deterministic (FIFO within a timestamp)
-// and gives every scheduled event a stable handle for cancellation.
-// Cancellation is lazy: cancelled entries stay in the heap and are skipped
-// on pop, which keeps cancel O(1).
+// An index-tracked 4-ary min-heap keyed by (time, sequence). The sequence
+// number makes ordering of simultaneous events deterministic (FIFO within a
+// timestamp); handles carry a slot + generation so cancellation is a true
+// O(log n) removal — no tombstones accumulate and no per-operation hashing
+// happens (the old implementation paid an unordered_set probe per push/pop
+// and left cancelled entries in the heap until they surfaced).
+//
+// Layout: the heap array holds 24-byte (time, seq, slot) records — swaps in
+// sift_up/sift_down never touch callback objects — while callbacks live in
+// a slab of slots addressed by the handle. Slots are recycled through a free
+// list; a per-slot generation makes stale handles (fired or cancelled
+// events) fail cancel() instead of hitting the recycled occupant. The 4-ary
+// shape halves tree depth versus a binary heap and keeps sift loops inside
+// one or two cache lines per level, which measurably wins on the dispatch
+// path (see bench_microkernel).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "common/small_function.h"
 #include "common/units.h"
 
 namespace ignem {
 
 /// Opaque handle identifying a scheduled event; usable to cancel it.
+/// Internally packs (slot + 1, generation); 0 is reserved for "invalid".
 class EventHandle {
  public:
   constexpr EventHandle() = default;
-  constexpr explicit EventHandle(std::uint64_t seq) : seq_(seq) {}
+  constexpr explicit EventHandle(std::uint64_t raw) : raw_(raw) {}
 
   static constexpr EventHandle invalid() { return EventHandle(); }
 
-  constexpr bool valid() const { return seq_ != 0; }
-  constexpr std::uint64_t seq() const { return seq_; }
+  constexpr bool valid() const { return raw_ != 0; }
+  constexpr std::uint64_t raw() const { return raw_; }
 
   constexpr auto operator<=>(const EventHandle&) const = default;
 
  private:
-  std::uint64_t seq_ = 0;  // 0 is reserved for "invalid".
+  std::uint64_t raw_ = 0;
 };
 
 /// Min-heap of (time, seq, action). Not thread-safe; the simulator is
 /// single-threaded by design (see Simulator).
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = SmallFunction;
 
   /// Adds an event; returns a handle to cancel it later.
   EventHandle push(SimTime when, Action action);
 
-  /// Marks a pending event as cancelled. Returns false if the handle was
+  /// Removes a pending event in O(log n). Returns false if the handle was
   /// already fired, already cancelled, or never issued.
   bool cancel(EventHandle handle);
 
-  /// True when no live (non-cancelled) events remain.
-  bool empty() const { return live_.empty(); }
+  /// True when no live events remain.
+  bool empty() const { return heap_.empty(); }
 
-  std::size_t live_count() const { return live_.size(); }
+  std::size_t live_count() const { return heap_.size(); }
 
   /// Time of the earliest live event. Requires !empty().
-  SimTime next_time();
+  SimTime next_time() const;
 
   /// Removes and returns the earliest live event. Requires !empty().
   std::pair<SimTime, Action> pop();
 
  private:
-  struct Entry {
-    SimTime when;
+  static constexpr std::uint32_t kNoSlot = UINT32_MAX;
+
+  struct HeapEntry {
+    std::int64_t when_micros;
     std::uint64_t seq;
-    Action action;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+    std::uint32_t slot;
+
+    bool before(const HeapEntry& o) const {
+      if (when_micros != o.when_micros) return when_micros < o.when_micros;
+      return seq < o.seq;
     }
   };
 
-  void drop_cancelled();
+  struct Slot {
+    Action action;
+    std::uint32_t gen = 1;
+    std::uint32_t heap_pos = 0;
+    std::uint32_t next_free = kNoSlot;  // valid only while on the free list
+  };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<std::uint64_t> live_;  // seqs pushed and not yet fired/cancelled
+  static constexpr std::uint64_t pack(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<std::uint64_t>(slot) + 1) << 32 | gen;
+  }
+
+  std::uint32_t acquire_slot(Action action);
+  void release_slot(std::uint32_t slot);
+  /// Fills heap_[pos] with `entry`, sifting to restore heap order; keeps
+  /// every touched slot's heap_pos current.
+  void place(std::size_t pos, HeapEntry entry);
+  void sift_up(std::size_t pos, HeapEntry entry);
+  void sift_down(std::size_t pos, HeapEntry entry);
+  /// Removes heap_[pos] (whose slot the caller has released) by re-placing
+  /// the last entry.
+  void remove_at(std::size_t pos);
+
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
   std::uint64_t next_seq_ = 1;
 };
 

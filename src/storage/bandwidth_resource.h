@@ -9,20 +9,36 @@
 //     aggregate(n) = seq_bw / (1 + degradation * (n - 1))
 //     per_stream(n) = min(aggregate(n) / n, per_stream_cap)
 //
-// Whenever the set of active transfers changes, progress is settled at the
-// old rates and a completion event is scheduled at the earliest finishing
-// transfer. This reproduces, mechanistically, the paper's Fig. 1 contention
-// collapse and the payoff of Ignem's one-migration-at-a-time rule (§IV-F).
+// Fair sharing means every active stream progresses at the same per-stream
+// rate, so a transfer-set change does not need to touch every transfer.
+// Instead, each settle appends the bytes progressed per stream to a log and
+// advances a virtual clock (vtime_ = running sum of the log) — O(1). Each
+// transfer is keyed in a credit-ordered set by vtime-at-last-sync plus its
+// remaining bytes; starts and aborts are O(log n) set updates. A transfer's
+// *exact* remaining (the same clamped subtraction chain the event-time
+// arithmetic has always used, so event timestamps are bit-identical to the
+// historical per-transfer model) is recovered lazily by replaying its
+// missed log slice — and only transfers whose credit sits within a small,
+// error-bound-derived slack of the minimum ever replay. The earliest
+// finisher is always among those candidates; its completion event is
+// (re)scheduled whenever the set changes. The old implementation walked all
+// n transfers on every change, which went quadratic exactly in the
+// high-concurrency bursts the paper's Fig. 1 contention collapse is about
+// (see docs/PERF.md for the design and the equivalence argument — goldens
+// are bit-identical).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <limits>
 #include <map>
+#include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "common/ids.h"
+#include "common/small_function.h"
 #include "common/units.h"
 #include "obs/trace_recorder.h"
 #include "sim/simulator.h"
@@ -53,7 +69,7 @@ struct BandwidthProfile {
 
 class SharedBandwidthResource {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFunction;
 
   SharedBandwidthResource(Simulator& sim, std::string name,
                           BandwidthProfile profile);
@@ -90,13 +106,38 @@ class SharedBandwidthResource {
 
  private:
   struct Transfer {
-    double remaining_bytes;
+    double remaining;      ///< Exact remaining bytes as of settle_log_[log_pos).
+    std::size_t log_pos;   ///< First settle-log entry not yet applied.
+    double credit;         ///< Set key: vtime at last sync + remaining.
     Bytes total_bytes;
     Callback on_complete;
   };
 
-  /// Applies progress at the current rates from last_update_ to now.
+  /// Advances the virtual clock by the per-stream progress since
+  /// last_update_ and appends it to the settle log. O(1): individual
+  /// transfers are never touched.
   void settle();
+
+  /// Replays the transfer's missed settle-log slice (the exact clamped
+  /// subtraction chain) and refreshes its credit key. Returns true if any
+  /// log entries were applied.
+  bool sync(std::map<std::uint64_t, Transfer>::iterator it);
+
+  /// Syncs every transfer whose credit is within `limit`; loops until no
+  /// replay occurs (syncing nudges credits by far less than the slack).
+  void sync_through(double limit);
+
+  /// Exact minimum remaining bytes over the set — syncs the slack band
+  /// around the smallest credit and compares exact values.
+  double exact_min_remaining();
+
+  /// Upper bound on how far a stale credit can drift from the transfer's
+  /// exact remaining, in bytes. Candidates for minimum / drain are selected
+  /// with this much slack, then compared exactly.
+  double slack_bytes() const;
+
+  /// Clears the virtual clock and settle log when the channel goes idle.
+  void reset_idle();
 
   /// Re-derives rates and (re)schedules the next completion event.
   void reschedule();
@@ -112,7 +153,13 @@ class SharedBandwidthResource {
   TraceRecorder* trace_ = nullptr;
   NodeId trace_node_;
 
-  std::map<std::uint64_t, Transfer> transfers_;  // ordered => deterministic
+  std::map<std::uint64_t, Transfer> transfers_;           // id -> transfer
+  std::set<std::pair<double, std::uint64_t>> by_credit_;  // (credit, id)
+  /// Per-settle per-stream progress since the channel went idle; entry k is
+  /// what the historical model subtracted from every transfer at settle k.
+  std::vector<double> settle_log_;
+  /// Running sum of settle_log_ — per-stream service since idle.
+  double vtime_ = 0.0;
   std::uint64_t next_id_ = 1;
   SimTime last_update_ = SimTime::zero();
   EventHandle pending_event_ = EventHandle::invalid();

@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "bench/sweep_runner.h"
 #include "core/testbed.h"
 #include "obs/invariant_checker.h"
 #include "obs/trace_recorder.h"
@@ -229,20 +230,60 @@ SwimConfig sweep_swim(std::uint64_t seed) {
   return config;
 }
 
-class InvariantSweep : public ::testing::TestWithParam<std::uint64_t> {};
+/// One seed's outcome, rich enough that equality across runner widths means
+/// the runs really were identical (not merely all-clean).
+struct SweepOutcome {
+  std::uint64_t seed = 0;
+  bool ok = false;
+  std::string report;
+  std::string replica_mismatch;
+  std::uint64_t events_dispatched = 0;
+  std::int64_t end_micros = 0;
+  bool operator==(const SweepOutcome&) const = default;
+};
 
-TEST_P(InvariantSweep, IgnemRunHasZeroViolations) {
-  const std::uint64_t seed = GetParam();
+SweepOutcome run_checked_seed(std::uint64_t seed) {
   Testbed testbed(checked_config(RunMode::kIgnem, seed));
   testbed.run_workload(build_swim_workload(testbed, sweep_swim(seed)));
-  ASSERT_NE(testbed.invariant_checker(), nullptr);
-  EXPECT_TRUE(testbed.invariant_checker()->ok())
-      << testbed.invariant_checker()->report();
-  EXPECT_EQ(testbed.replica_model_mismatch(), "");
+  SweepOutcome out;
+  out.seed = seed;
+  out.ok = testbed.invariant_checker() != nullptr &&
+           testbed.invariant_checker()->ok();
+  if (testbed.invariant_checker() != nullptr) {
+    out.report = testbed.invariant_checker()->report();
+  }
+  out.replica_mismatch = testbed.replica_model_mismatch();
+  out.events_dispatched = testbed.sim().events_dispatched();
+  out.end_micros = testbed.sim().now().count_micros();
+  return out;
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, InvariantSweep,
-                         ::testing::Range(std::uint64_t{1}, std::uint64_t{21}));
+// The 20-seed sweep runs through the parallel sweep runner: every seed must
+// be violation-free, and the result vector must not depend on the worker
+// count (one worker versus the full pool yields identical outcomes in
+// identical order).
+TEST(InvariantSweep, TwentySeedsCleanAndOrderIndependent) {
+  const auto run_all = [](std::size_t threads) {
+    return bench::run_indexed_sweep(
+        20, [](std::size_t i) { return run_checked_seed(i + 1); }, threads);
+  };
+  const std::vector<SweepOutcome> pooled = run_all(bench::sweep_thread_count());
+  for (const SweepOutcome& out : pooled) {
+    EXPECT_TRUE(out.ok) << "seed " << out.seed << ":\n" << out.report;
+    EXPECT_EQ(out.replica_mismatch, "") << "seed " << out.seed;
+    EXPECT_GT(out.events_dispatched, 0u) << "seed " << out.seed;
+  }
+  const std::vector<SweepOutcome> serial = run_all(1);
+  ASSERT_EQ(pooled.size(), serial.size());
+  for (std::size_t i = 0; i < pooled.size(); ++i) {
+    EXPECT_TRUE(pooled[i] == serial[i])
+        << "seed " << serial[i].seed
+        << " differs between 1 worker and the pool (events "
+        << serial[i].events_dispatched << " vs " << pooled[i].events_dispatched
+        << ", end " << serial[i].end_micros << " vs " << pooled[i].end_micros
+        << ")";
+  }
+}
 
 TEST(InvariantSweepModes, AllModesCleanOnOneSeed) {
   for (const RunMode mode :
