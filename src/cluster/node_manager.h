@@ -32,6 +32,10 @@ class NodeManager {
   bool alive() const { return alive_; }
   void set_alive(bool alive) { alive_ = alive; }
 
+  /// Crash bookkeeping: a declared-dead (or freshly restarted) node runs no
+  /// containers, so all slots come back free.
+  void reset_slots() { used_slots_ = 0; }
+
  private:
   NodeId id_;
   int total_slots_;

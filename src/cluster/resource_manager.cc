@@ -11,6 +11,7 @@ ResourceManager::ResourceManager(Simulator& sim, ClusterConfig config)
   IGNEM_CHECK(config_.node_count > 0);
   nodes_.reserve(config_.node_count);
   heartbeats_.reserve(config_.node_count);
+  last_beat_.resize(config_.node_count, SimTime::zero());
   for (std::size_t i = 0; i < config_.node_count; ++i) {
     const NodeId id(static_cast<std::int64_t>(i));
     nodes_.push_back(std::make_unique<NodeManager>(id, config_.slots_per_node));
@@ -22,6 +23,11 @@ ResourceManager::ResourceManager(Simulator& sim, ClusterConfig config)
     heartbeats_.push_back(std::make_unique<PeriodicTask>(
         sim_, offset, config_.heartbeat_interval,
         [this, id] { on_heartbeat(id); }));
+  }
+  if (config_.enable_failure_detection) {
+    liveness_monitor_ = std::make_unique<PeriodicTask>(
+        sim_, config_.liveness_check_interval, config_.liveness_check_interval,
+        [this] { check_liveness(); });
   }
 }
 
@@ -51,13 +57,66 @@ void ResourceManager::request_container(ContainerRequest request) {
   queue_.push_back(QueuedRequest{std::move(request), sim_.now()});
 }
 
-void ResourceManager::release_container(NodeId node) {
-  node_manager(node).release();
-  if (trace_ != nullptr) trace_->emit(TraceEventType::kContainerRelease, node);
+void ResourceManager::release_container(const ContainerGrant& grant) {
+  if (active_.erase(grant.id) == 0) return;  // purged when node declared dead
+  node_manager(grant.node).release();
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kContainerRelease, grant.node);
+  }
 }
 
 void ResourceManager::set_node_alive(NodeId node, bool alive) {
   node_manager(node).set_alive(alive);
+}
+
+void ResourceManager::halt_heartbeat(NodeId node) {
+  IGNEM_CHECK(node.valid() &&
+              static_cast<std::size_t>(node.value()) < heartbeats_.size());
+  heartbeats_[static_cast<std::size_t>(node.value())].reset();
+}
+
+void ResourceManager::resume_heartbeat(NodeId node) {
+  IGNEM_CHECK(node.valid() &&
+              static_cast<std::size_t>(node.value()) < heartbeats_.size());
+  heartbeats_[static_cast<std::size_t>(node.value())] =
+      std::make_unique<PeriodicTask>(sim_, config_.heartbeat_interval,
+                                     config_.heartbeat_interval,
+                                     [this, node] { on_heartbeat(node); });
+}
+
+void ResourceManager::check_liveness() {
+  const SimTime now = sim_.now();
+  for (std::size_t i = 0; i < last_beat_.size(); ++i) {
+    const NodeId node(static_cast<std::int64_t>(i));
+    if (dead_marked_.contains(node)) continue;
+    if (now - last_beat_[i] > config_.liveness_timeout) {
+      declare_node_dead(node);
+    }
+  }
+}
+
+void ResourceManager::declare_node_dead(NodeId node) {
+  dead_marked_.insert(node);
+  NodeManager& manager = node_manager(node);
+  manager.set_alive(false);
+  manager.reset_slots();
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kFaultDetectedDead, node, BlockId::invalid(),
+                 JobId::invalid(), 0, /*detail=*/1);  // 1 = ResourceManager
+  }
+  // Purge the node's containers and let their owners re-request elsewhere.
+  std::vector<std::function<void()>> lost;
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (it->second.node == node) {
+      if (it->second.on_lost != nullptr) {
+        lost.push_back(std::move(it->second.on_lost));
+      }
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& cb : lost) cb();
 }
 
 NodeManager& ResourceManager::node_manager(NodeId node) {
@@ -76,7 +135,19 @@ bool ResourceManager::prefers(const ContainerRequest& request,
 void ResourceManager::on_heartbeat(NodeId node) {
   ++heartbeat_count_;
   queue_length_accum_ += queue_.size();
+  last_beat_[static_cast<std::size_t>(node.value())] = sim_.now();
   NodeManager& manager = node_manager(node);
+  if (dead_marked_.contains(node)) {
+    // A beat from a declared-dead node: it restarted (or was only silenced
+    // by a heartbeat delay). Readmit it with a clean slate of slots.
+    dead_marked_.erase(node);
+    manager.set_alive(true);
+    manager.reset_slots();
+    if (trace_ != nullptr) {
+      trace_->emit(TraceEventType::kRecoverNodeRejoin, node,
+                   BlockId::invalid(), JobId::invalid(), 0, /*detail=*/1);
+    }
+  }
   if (!manager.alive()) return;
 
   // A node only takes its fair share of location-free requests per
@@ -110,12 +181,20 @@ void ResourceManager::on_heartbeat(NodeId node) {
         trace_->emit(TraceEventType::kContainerAllocate, node,
                      BlockId::invalid(), it->request.job);
       }
+      const ContainerGrant grant{next_container_++, node};
+      active_.emplace(grant.id, ActiveContainer{node, it->request.job,
+                                                std::move(it->request.on_lost)});
       auto on_allocated = std::move(it->request.on_allocated);
       it = queue_.erase(it);
       // Container launch overhead (binary shipping + JVM warm-up) before the
-      // task code runs.
+      // task code runs. If the node is declared dead before launch finishes
+      // the grant is purged and the callback never fires (on_lost already
+      // re-requested).
       sim_.schedule(config_.container_launch,
-                    [cb = std::move(on_allocated), node] { cb(node); });
+                    [this, cb = std::move(on_allocated), grant] {
+                      if (!active_.contains(grant.id)) return;
+                      cb(grant);
+                    });
     }
     if (manager.free_slots() == 0) break;
   }

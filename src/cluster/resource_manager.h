@@ -8,8 +8,10 @@
 // has waited `locality_delay`, then accepts any node.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <unordered_set>
 #include <vector>
@@ -30,13 +32,30 @@ struct ClusterConfig {
   Duration locality_delay = Duration::seconds(3.0);
   /// Container launch overhead: binary shipping + JVM warm-up (§II-C1).
   Duration container_launch = Duration::seconds(1.0);
+  /// Missed-heartbeat failure detection (off by default so fault-free runs
+  /// schedule no extra events and stay bit-identical). When on, a liveness
+  /// monitor declares a node dead after `liveness_timeout` without a beat,
+  /// frees its slots, and fires `on_lost` for every container it ran.
+  bool enable_failure_detection = false;
+  Duration liveness_timeout = Duration::seconds(12.0);  ///< ~4 missed beats.
+  Duration liveness_check_interval = Duration::seconds(1.0);
+};
+
+/// A granted container: the slot's node plus a unique id so a release after
+/// the node was declared dead (and its slots purged) is a safe no-op.
+struct ContainerGrant {
+  std::uint64_t id = 0;
+  NodeId node;
 };
 
 /// A request for one container, with locality preferences.
 struct ContainerRequest {
   JobId job;
   std::vector<NodeId> preferred;  ///< Empty means "anywhere".
-  std::function<void(NodeId)> on_allocated;
+  std::function<void(const ContainerGrant&)> on_allocated;
+  /// Optional: fired when the container's node is declared dead before the
+  /// container was released — the owner should re-request elsewhere.
+  std::function<void()> on_lost;
 };
 
 class ResourceManager : public JobLivenessOracle {
@@ -57,11 +76,23 @@ class ResourceManager : public JobLivenessOracle {
   void request_container(ContainerRequest request);
 
   /// Returns a container's slot. Visible to the scheduler at the node's next
-  /// heartbeat, as in Hadoop.
-  void release_container(NodeId node);
+  /// heartbeat, as in Hadoop. A grant already purged by failure detection
+  /// (node declared dead) is a no-op.
+  void release_container(const ContainerGrant& grant);
 
   /// Node failure support: a dead node stops heartbeating and loses slots.
   void set_node_alive(NodeId node, bool alive);
+
+  /// Crash support: stops / restarts the modeled NodeManager heartbeat so
+  /// the liveness monitor sees the silence (and the rejoin).
+  void halt_heartbeat(NodeId node);
+  void resume_heartbeat(NodeId node);
+
+  /// Whether failure detection currently considers `node` dead.
+  bool is_node_marked_dead(NodeId node) const {
+    return dead_marked_.contains(node);
+  }
+  std::size_t active_containers() const { return active_.size(); }
 
   const ClusterConfig& config() const { return config_; }
   NodeManager& node_manager(NodeId node);
@@ -75,6 +106,8 @@ class ResourceManager : public JobLivenessOracle {
 
  private:
   void on_heartbeat(NodeId node);
+  void check_liveness();
+  void declare_node_dead(NodeId node);
   bool prefers(const ContainerRequest& request, NodeId node) const;
 
   Simulator& sim_;
@@ -82,6 +115,7 @@ class ResourceManager : public JobLivenessOracle {
   TraceRecorder* trace_ = nullptr;
   std::vector<std::unique_ptr<NodeManager>> nodes_;
   std::vector<std::unique_ptr<PeriodicTask>> heartbeats_;
+  std::unique_ptr<PeriodicTask> liveness_monitor_;  // only when detection on
 
   struct QueuedRequest {
     ContainerRequest request;
@@ -89,6 +123,16 @@ class ResourceManager : public JobLivenessOracle {
   };
   std::deque<QueuedRequest> queue_;
   std::unordered_set<JobId> running_jobs_;
+
+  struct ActiveContainer {
+    NodeId node;
+    JobId job;
+    std::function<void()> on_lost;
+  };
+  std::map<std::uint64_t, ActiveContainer> active_;  // ordered: determinism
+  std::uint64_t next_container_ = 1;
+  std::vector<SimTime> last_beat_;            // index == NodeId value
+  std::unordered_set<NodeId> dead_marked_;    // declared dead, not rejoined
 
   std::uint64_t heartbeat_count_ = 0;
   std::uint64_t queue_length_accum_ = 0;

@@ -48,6 +48,14 @@ struct IgnemConfig {
   /// One-way latency of a master<->slave or client->master RPC. Commands are
   /// batched per slave, so a request costs O(1) RPCs per slave (§III-A6).
   Duration rpc_latency = Duration::millis(1);
+
+  /// Fault tolerance: when a migration's source or destination node dies
+  /// mid-transfer the master reroutes it to a surviving replica, delayed by
+  /// capped exponential backoff — attempt n waits min(base * 2^(n-1), cap)
+  /// — and drops the migration for good after `max_migration_retries`.
+  Duration retry_backoff_base = Duration::millis(100);
+  Duration retry_backoff_cap = Duration::seconds(5.0);
+  int max_migration_retries = 4;
 };
 
 }  // namespace ignem

@@ -47,6 +47,7 @@ void IgnemMaster::process(const MigrationRequest& request) {
 }
 
 void IgnemMaster::do_migrate(const MigrationRequest& request) {
+  job_info_[request.job] = {request.job_input_bytes, request.eviction};
   // Build one batch per slave so each slave costs a single RPC (§III-A6).
   std::map<NodeId, std::vector<PendingMigration>> batches;
   for (const FileId file : request.files) {
@@ -96,6 +97,7 @@ void IgnemMaster::do_evict(const MigrationRequest& request) {
   std::map<NodeId, std::vector<BlockId>> batches;
   for (const FileId file : request.files) {
     for (const BlockId block_id : namenode_.file(file).blocks) {
+      retries_.erase({request.job, block_id});
       const auto it = chosen_.find({request.job, block_id});
       if (it == chosen_.end()) continue;  // unknown (e.g. post-restart)
       for (const NodeId node : it->second) {
@@ -105,6 +107,7 @@ void IgnemMaster::do_evict(const MigrationRequest& request) {
       chosen_.erase(it);
     }
   }
+  job_info_.erase(request.job);
   for (auto& [node, blocks] : batches) {
     ++stats_.batches_sent;
     sim_.schedule(config_.rpc_latency,
@@ -119,10 +122,88 @@ void IgnemMaster::do_evict(const MigrationRequest& request) {
 void IgnemMaster::fail() {
   failed_ = true;
   chosen_.clear();
+  job_info_.clear();
+  retries_.clear();
   for (IgnemSlave* slave : slaves_) slave->on_master_failure();
 }
 
 void IgnemMaster::restart() { failed_ = false; }
+
+void IgnemMaster::on_node_failure(NodeId node) {
+  if (failed_) return;
+  std::map<NodeId, std::vector<PendingMigration>> batches;
+  for (auto it = chosen_.begin(); it != chosen_.end();) {
+    std::vector<NodeId>& targets = it->second;
+    const auto pos = std::find(targets.begin(), targets.end(), node);
+    if (pos == targets.end()) {
+      ++it;
+      continue;
+    }
+    targets.erase(pos);
+    const auto [job, block] = it->first;
+    const int attempt = ++retries_[it->first];
+    NodeId replacement = NodeId::invalid();
+    if (attempt <= config_.max_migration_retries) {
+      // A surviving replica not already chosen, whose process and disk are
+      // actually up (the namespace may still list undetected crashes).
+      for (const NodeId cand : namenode_.live_locations(block)) {
+        if (std::find(targets.begin(), targets.end(), cand) != targets.end()) {
+          continue;
+        }
+        const DataNode* dn = namenode_.datanode(cand);
+        if (!dn->alive() || !dn->disk_ok()) continue;
+        replacement = cand;
+        break;
+      }
+    }
+    const auto info = job_info_.find(job);
+    if (!replacement.valid() || info == job_info_.end()) {
+      // Out of retries or replicas (or the job already finished): drop.
+      if (targets.empty()) {
+        it = chosen_.erase(it);
+      } else {
+        ++it;
+      }
+      continue;
+    }
+    const Duration backoff =
+        std::min(config_.retry_backoff_base *
+                     static_cast<double>(std::int64_t{1} << (attempt - 1)),
+                 config_.retry_backoff_cap);
+    PendingMigration command;
+    command.block = block;
+    command.bytes = namenode_.block(block).size;
+    command.job = job;
+    command.job_input_bytes = info->second.first;
+    command.eviction = info->second.second;
+    command.not_before = sim_.now() + backoff;
+    batches[replacement].push_back(command);
+    targets.push_back(replacement);
+    ++stats_.migrate_commands;
+    if (trace_ != nullptr) {
+      trace_->emit(TraceEventType::kMigrationRetry, replacement, block, job,
+                   command.bytes, attempt);
+    }
+    ++it;
+  }
+  for (auto& [target, batch] : batches) {
+    ++stats_.batches_sent;
+    sim_.schedule(config_.rpc_latency,
+                  [this, target, batch = std::move(batch)] {
+                    if (failed_) return;
+                    slaves_[static_cast<std::size_t>(target.value())]
+                        ->handle_migrate_batch(batch);
+                  });
+  }
+}
+
+void IgnemMaster::on_node_rejoin(NodeId node) {
+  if (failed_) return;
+  sim_.schedule(config_.rpc_latency, [this, node] {
+    if (failed_) return;
+    slaves_[static_cast<std::size_t>(node.value())]->purge_all();
+  });
+}
 
 NodeId IgnemMaster::chosen_replica(JobId job, BlockId block) const {
   const auto it = chosen_.find({job, block});

@@ -55,6 +55,18 @@ class IgnemMaster : public MigrationService {
   /// state.
   void restart();
 
+  /// Failure-detection hook: `node` was declared dead. Every migration whose
+  /// chosen slave sat there is rerouted to a surviving replica, delayed by
+  /// capped exponential backoff; after `max_migration_retries` reroutes the
+  /// migration is dropped for good (the job falls back to disk reads).
+  void on_node_failure(NodeId node);
+
+  /// A declared-dead node came back. Its slave may hold migrations the
+  /// master rerouted or forgot (spurious death under a heartbeat delay, or
+  /// a restart the master did not witness): tell it to purge so its state
+  /// matches the master's and no locked bytes leak.
+  void on_node_rejoin(NodeId node);
+
   const MasterStats& stats() const { return stats_; }
   bool failed() const { return failed_; }
 
@@ -80,6 +92,11 @@ class IgnemMaster : public MigrationService {
   /// Soft state: which slave(s) hold each (job, block) migration. One entry
   /// in the paper's design; more when replicas_to_migrate > 1.
   std::map<std::pair<JobId, BlockId>, std::vector<NodeId>> chosen_;
+  /// Per-job request parameters, kept while the job is live so rerouted
+  /// migrations carry the same priority and eviction mode.
+  std::map<JobId, std::pair<Bytes, EvictionMode>> job_info_;
+  /// Reroute attempts per (job, block), for the backoff schedule.
+  std::map<std::pair<JobId, BlockId>, int> retries_;
   MasterStats stats_;
 };
 

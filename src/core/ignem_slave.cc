@@ -38,6 +38,7 @@ void IgnemSlave::add_reference(BlockId block, JobId job) {
 
 void IgnemSlave::handle_migrate_batch(
     const std::vector<PendingMigration>& commands) {
+  if (!datanode_.alive()) return;  // RPC to a crashed process is lost
   for (PendingMigration command : commands) {
     ++stats_.commands_received;
     job_modes_[command.job] = command.eviction;
@@ -57,13 +58,20 @@ void IgnemSlave::handle_migrate_batch(
 
 void IgnemSlave::maybe_start() {
   while (!current_.has_value()) {
-    const PendingMigration* head = queue_.peek();
-    if (head == nullptr) return;
+    if (!datanode_.alive()) return;
+    const SimTime now = sim_.now();
+    const PendingMigration* head = queue_.peek_ready(now);
+    if (head == nullptr) {
+      // Empty, or everything is serving a retry backoff: arm a wake at the
+      // earliest expiry (no-op when the queue is truly empty).
+      schedule_ready_wake();
+      return;
+    }
 
     const auto it = blocks_.find(head->block);
     if (it == blocks_.end() || it->second.phase != Phase::kQueued) {
       // Stale entry (block already handled through another job's command).
-      queue_.pop();
+      queue_.pop_ready(now);
       continue;
     }
     BlockState& state = it->second;
@@ -85,7 +93,7 @@ void IgnemSlave::maybe_start() {
       }
     }
 
-    const PendingMigration m = *queue_.pop();
+    const PendingMigration m = *queue_.pop_ready(now);
     queue_.erase_block(m.block);  // sibling entries ride on this migration
     // Reserve capacity now; the block only becomes visible to readers when
     // the page-in completes (commit in on_migration_complete).
@@ -111,6 +119,20 @@ void IgnemSlave::maybe_start() {
         });
     current_ = ActiveMigration{m.block, state.bytes, transfer};
   }
+}
+
+void IgnemSlave::schedule_ready_wake() {
+  const std::optional<SimTime> next = queue_.next_ready_time(sim_.now());
+  if (!next.has_value()) return;
+  if (wake_pending_ && wake_time_ <= *next) return;  // earlier wake armed
+  wake_pending_ = true;
+  wake_time_ = *next;
+  const SimTime target = *next;
+  sim_.schedule(target - sim_.now(), [this, target] {
+    if (!wake_pending_ || wake_time_ != target) return;  // superseded
+    wake_pending_ = false;
+    maybe_start();
+  });
 }
 
 void IgnemSlave::on_migration_complete(BlockId block, Bytes bytes) {
@@ -223,8 +245,14 @@ void IgnemSlave::cleanup_dead_jobs() {
 }
 
 void IgnemSlave::on_master_failure() {
-  // Match the new master's empty state (§III-A5): drop every reference,
-  // abort the in-flight migration, and unlock everything.
+  // Match the new master's empty state (§III-A5).
+  purge_all();
+}
+
+void IgnemSlave::purge_all() {
+  // Drop every reference, abort the in-flight migration, and unlock
+  // everything.
+  wake_pending_ = false;
   if (current_.has_value()) {
     datanode_.primary_device().abort(current_->transfer);
     datanode_.cache().cancel_reservation(current_->bytes);
@@ -253,6 +281,7 @@ void IgnemSlave::on_master_failure() {
 }
 
 void IgnemSlave::reset() {
+  wake_pending_ = false;
   if (current_.has_value()) {
     datanode_.primary_device().abort(current_->transfer);
     // The locked pool itself is wiped by DataNode::fail(); only drop our

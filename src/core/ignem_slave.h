@@ -64,6 +64,11 @@ class IgnemSlave : public BlockReadListener {
   /// The master failed: purge all reference lists to match its empty state.
   void on_master_failure();
 
+  /// Drops every migration and reference and unlocks all memory. Also used
+  /// when the master orders a rejoining (spuriously-declared-dead) slave to
+  /// resynchronize with state the master no longer tracks.
+  void purge_all();
+
   /// The slave process failed: all state is gone (the DataNode clears the
   /// locked pool). Call DataNode::fail()/restart() alongside.
   void reset();
@@ -104,6 +109,9 @@ class IgnemSlave : public BlockReadListener {
   void remove_reference(BlockId block, JobId job, bool missed_read);
   void drop_block(BlockId block);
   void maybe_start();
+  /// Arms a single wake event at the earliest retry-backoff expiry so a
+  /// backed-off queue gets re-examined without polling.
+  void schedule_ready_wake();
   void on_migration_complete(BlockId block, Bytes bytes);
   void cleanup_dead_jobs();
 
@@ -119,6 +127,8 @@ class IgnemSlave : public BlockReadListener {
   std::unordered_map<JobId, EvictionMode> job_modes_;
   std::optional<ActiveMigration> current_;
   std::uint64_t next_seq_ = 1;
+  bool wake_pending_ = false;  ///< A ready-wake event is armed for wake_time_.
+  SimTime wake_time_;
   SlaveStats stats_;
 };
 

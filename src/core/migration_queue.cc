@@ -74,6 +74,34 @@ const PendingMigration* MigrationQueue::peek() const {
   return entries_.empty() ? nullptr : &*entries_.begin();
 }
 
+const PendingMigration* MigrationQueue::peek_ready(SimTime now) const {
+  for (const PendingMigration& m : entries_) {
+    if (m.not_before <= now) return &m;
+  }
+  return nullptr;
+}
+
+std::optional<PendingMigration> MigrationQueue::pop_ready(SimTime now) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->not_before > now) continue;
+    PendingMigration m = *it;
+    entries_.erase(it);
+    if (--block_refcount_[m.block] == 0) block_refcount_.erase(m.block);
+    emit(TraceEventType::kMigrationDequeue, m);
+    return m;
+  }
+  return std::nullopt;
+}
+
+std::optional<SimTime> MigrationQueue::next_ready_time(SimTime now) const {
+  std::optional<SimTime> earliest;
+  for (const PendingMigration& m : entries_) {
+    if (m.not_before <= now) continue;
+    if (!earliest || m.not_before < *earliest) earliest = m.not_before;
+  }
+  return earliest;
+}
+
 std::size_t MigrationQueue::erase_job(JobId job) {
   std::size_t removed = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {

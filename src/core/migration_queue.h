@@ -29,6 +29,9 @@ struct PendingMigration {
   Bytes job_input_bytes = 0;
   EvictionMode eviction = EvictionMode::kImplicit;
   std::uint64_t arrival_seq = 0;  ///< Global command order (submission order).
+  /// Earliest start time (retry backoff). Not part of the priority order:
+  /// a backed-off entry keeps its place but is skipped until ready.
+  SimTime not_before;
 };
 
 class MigrationQueue {
@@ -44,6 +47,15 @@ class MigrationQueue {
 
   /// Peeks without removing.
   const PendingMigration* peek() const;
+
+  /// Like peek/pop, but skip entries still serving their retry backoff
+  /// (`not_before > now`).
+  const PendingMigration* peek_ready(SimTime now) const;
+  std::optional<PendingMigration> pop_ready(SimTime now);
+
+  /// Earliest `not_before` among entries not ready at `now`, or nullopt when
+  /// none are backed off — when the slave should wake to re-check.
+  std::optional<SimTime> next_ready_time(SimTime now) const;
 
   /// Drops all entries for `job`; returns how many were removed.
   std::size_t erase_job(JobId job);

@@ -1,6 +1,7 @@
 #include "core/testbed.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/check.h"
@@ -22,6 +23,12 @@ Testbed::Testbed(TestbedConfig config)
     : config_(config), rng_(config.seed) {
   const std::size_t n = config_.cluster.node_count;
   IGNEM_CHECK(n > 0);
+  // The RM reads this at construction, so force it before building the RM.
+  if (config_.fault_tolerance) {
+    config_.cluster.enable_failure_detection = true;
+    config_.cluster.liveness_timeout = config_.detector.liveness_timeout;
+    config_.cluster.liveness_check_interval = config_.detector.check_interval;
+  }
 
   if (config_.enable_trace || config_.check_invariants) {
     trace_ = std::make_unique<TraceRecorder>();
@@ -52,6 +59,12 @@ Testbed::Testbed(TestbedConfig config)
   rm_ = std::make_unique<ResourceManager>(sim_, config_.cluster);
   rm_->set_trace(trace_.get());
   dfs_ = std::make_unique<DfsClient>(sim_, *namenode_, *network_, &metrics_);
+  // Always constructed — its constructor schedules nothing, so fault-free
+  // traces are unaffected; repairs only start when the detection hooks
+  // (below) or a test feed it a node failure.
+  replication_manager_ = std::make_unique<ReplicationManager>(
+      sim_, *namenode_, *network_, rng_.fork(4));
+  replication_manager_->set_trace(trace_.get());
 
   switch (config_.mode) {
     case RunMode::kIgnem: {
@@ -84,6 +97,22 @@ Testbed::Testbed(TestbedConfig config)
     case RunMode::kHdfs:
     case RunMode::kHdfsInputsInRam:
       break;
+  }
+
+  if (config_.fault_tolerance) {
+    detector_ = std::make_unique<FailureDetector>(sim_, *namenode_,
+                                                  config_.detector);
+    detector_->set_trace(trace_.get());
+    detector_->set_on_node_dead([this](NodeId node) {
+      // handle_node_failure marks the node dead in the namespace and queues
+      // re-replication; the Ignem master then reroutes the migrations it had
+      // routed to the dead slave.
+      replication_manager_->handle_node_failure(node, config_.replication);
+      if (master_ != nullptr) master_->on_node_failure(node);
+    });
+    detector_->set_on_node_rejoined([this](NodeId node) {
+      if (master_ != nullptr) master_->on_node_rejoin(node);
+    });
   }
 
   if (config_.memory_sample_period > Duration::zero() &&
@@ -167,6 +196,140 @@ bool Testbed::migration_enabled() const {
          config_.mode == RunMode::kInstantMigration;
 }
 
+namespace {
+
+/// Effectively infinite at simulated bandwidths (~decades of transfer time):
+/// a hog transfer never completes on its own; the end of the fault window
+/// aborts it.
+constexpr Bytes kHogBytes = Bytes{1} << 50;
+
+int hog_streams(double severity) {
+  return std::max(1, static_cast<int>(std::lround(severity)));
+}
+
+}  // namespace
+
+void Testbed::emit_fault_event(TraceEventType type, NodeId node,
+                               std::uint64_t detail) {
+  if (trace_ != nullptr) {
+    trace_->emit(type, node, BlockId::invalid(), JobId::invalid(), 0, detail);
+  }
+}
+
+void Testbed::fail_node(NodeId node) {
+  DataNode& dn = datanode(node);
+  IGNEM_CHECK_MSG(dn.alive(),
+                  "fail_node: node " << node.value() << " is already down");
+  // Crash event first: the slave purge and cache reclamation below emit
+  // unlock/eviction events the NodeDownRule only permits on a down node.
+  emit_fault_event(TraceEventType::kFaultNodeCrash, node);
+  IgnemSlave* slave = ignem_slave(node);
+  if (slave != nullptr) slave->reset();
+  dn.fail();
+  if (detector_ != nullptr) detector_->halt_heartbeat(node);
+  rm_->halt_heartbeat(node);
+}
+
+void Testbed::restart_node(NodeId node) {
+  DataNode& dn = datanode(node);
+  IGNEM_CHECK_MSG(!dn.alive(),
+                  "restart_node: node " << node.value() << " is not down");
+  emit_fault_event(TraceEventType::kRecoverNodeRestart, node);
+  dn.restart();
+  // Re-registration is heartbeat-driven: the NameNode and RM each readmit
+  // the node when its first post-restart beat lands.
+  if (detector_ != nullptr) detector_->resume_heartbeat(node);
+  rm_->resume_heartbeat(node);
+}
+
+void Testbed::crash_master() {
+  if (master_ == nullptr || master_->failed()) return;
+  emit_fault_event(TraceEventType::kFaultMasterCrash, NodeId::invalid());
+  master_->fail();
+}
+
+void Testbed::restart_master() {
+  if (master_ == nullptr || !master_->failed()) return;
+  master_->restart();
+  emit_fault_event(TraceEventType::kRecoverMasterRestart, NodeId::invalid());
+}
+
+void Testbed::crash_slave(NodeId node) {
+  IgnemSlave* slave = ignem_slave(node);
+  if (slave == nullptr) return;
+  DataNode& dn = datanode(node);
+  if (!dn.alive()) return;  // the whole server is already down
+  emit_fault_event(TraceEventType::kFaultSlaveCrash, node);
+  // The slave shares the DataNode process (§III-B), so its crash drops all
+  // locked memory; supervision restarts the process immediately (a point
+  // fault), so only reads in flight at the crash instant fail.
+  slave->reset();
+  dn.fail();
+  dn.restart();
+  emit_fault_event(TraceEventType::kRecoverSlaveRestart, node);
+}
+
+void Testbed::begin_disk_fail_stop(NodeId node) {
+  emit_fault_event(TraceEventType::kFaultDiskFailStop, node);
+  datanode(node).set_disk_failed(true);
+}
+
+void Testbed::end_disk_fail_stop(NodeId node) {
+  datanode(node).set_disk_failed(false);
+  emit_fault_event(TraceEventType::kRecoverDisk, node, /*detail=*/0);
+}
+
+void Testbed::begin_disk_fail_slow(NodeId node, double severity) {
+  const int streams = hog_streams(severity);
+  emit_fault_event(TraceEventType::kFaultDiskFailSlow, node,
+                   static_cast<std::uint64_t>(streams));
+  StorageDevice& device = datanode(node).primary_device();
+  auto& hogs = disk_hogs_[node];
+  for (int i = 0; i < streams; ++i) {
+    hogs.push_back(device.read(kHogBytes, [] {}));
+  }
+}
+
+void Testbed::end_disk_fail_slow(NodeId node) {
+  StorageDevice& device = datanode(node).primary_device();
+  for (const TransferHandle handle : disk_hogs_[node]) device.abort(handle);
+  disk_hogs_.erase(node);
+  emit_fault_event(TraceEventType::kRecoverDisk, node, /*detail=*/1);
+}
+
+void Testbed::begin_network_degrade(NodeId node, double severity) {
+  const int streams = hog_streams(severity);
+  emit_fault_event(TraceEventType::kFaultNetworkDegrade, node,
+                   static_cast<std::uint64_t>(streams));
+  SharedBandwidthResource& nic = network_->nic(node);
+  auto& hogs = net_hogs_[node];
+  for (int i = 0; i < streams; ++i) {
+    hogs.push_back(nic.start(kHogBytes, [] {}));
+  }
+}
+
+void Testbed::end_network_degrade(NodeId node) {
+  SharedBandwidthResource& nic = network_->nic(node);
+  for (const TransferHandle handle : net_hogs_[node]) nic.abort(handle);
+  net_hogs_.erase(node);
+  emit_fault_event(TraceEventType::kRecoverNetwork, node);
+}
+
+void Testbed::begin_heartbeat_delay(NodeId node) {
+  emit_fault_event(TraceEventType::kFaultHeartbeatDelay, node);
+  if (detector_ != nullptr) detector_->halt_heartbeat(node);
+  rm_->halt_heartbeat(node);
+}
+
+void Testbed::end_heartbeat_delay(NodeId node) {
+  emit_fault_event(TraceEventType::kRecoverHeartbeat, node);
+  // A node that crashed during the delay window stays silent; its own
+  // restart resumes the beats.
+  if (!datanode(node).alive()) return;
+  if (detector_ != nullptr) detector_->resume_heartbeat(node);
+  rm_->resume_heartbeat(node);
+}
+
 JobRunner* Testbed::submit_job(JobSpec spec,
                                JobRunner::CompletionCallback on_complete,
                                bool allow_migration) {
@@ -198,6 +361,19 @@ void Testbed::run_until_jobs_done() {
 }
 
 void Testbed::run_workload(std::vector<ScheduledJob> jobs) {
+  const bool done = run_workload_to(std::move(jobs), SimTime::max());
+  IGNEM_CHECK_MSG(done, "workload did not finish: " << jobs_remaining_
+                                                    << " jobs still pending");
+}
+
+bool Testbed::run_workload_limited(std::vector<ScheduledJob> jobs,
+                                   Duration limit) {
+  IGNEM_CHECK(limit > Duration::zero());
+  return run_workload_to(std::move(jobs), sim_.now() + limit);
+}
+
+bool Testbed::run_workload_to(std::vector<ScheduledJob> jobs,
+                              SimTime deadline) {
   IGNEM_CHECK(!jobs.empty());
 
   const bool migration_on = migration_enabled();
@@ -226,14 +402,13 @@ void Testbed::run_workload(std::vector<ScheduledJob> jobs) {
     });
   }
 
-  sim_.run_until([this] { return jobs_remaining_ == 0; });
-  IGNEM_CHECK_MSG(jobs_remaining_ == 0,
-                  "workload did not finish: " << jobs_remaining_
-                                              << " jobs still pending");
+  sim_.run_until([this] { return jobs_remaining_ == 0; }, deadline);
+  const bool done = jobs_remaining_ == 0;
   // Grace window: let the final jobs' evict RPCs land (see
   // run_until_jobs_done) before callers inspect cache state.
-  sim_.run(sim_.now() + Duration::seconds(1.0));
+  if (done) sim_.run(sim_.now() + Duration::seconds(1.0));
   if (memory_sampler_ != nullptr) memory_sampler_->stop();
+  return done;
 }
 
 }  // namespace ignem

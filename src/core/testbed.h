@@ -8,6 +8,7 @@
 // run a workload of JobSpecs with arrival times.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -23,6 +24,9 @@
 #include "core/ignem_slave.h"
 #include "dfs/dfs_client.h"
 #include "dfs/namenode.h"
+#include "dfs/replication_manager.h"
+#include "fault/failure_detector.h"
+#include "fault/fault_target.h"
 #include "mapreduce/job_runner.h"
 #include "metrics/run_metrics.h"
 #include "net/network.h"
@@ -70,6 +74,14 @@ struct TestbedConfig {
   bool enable_trace = false;
   /// Runs the live InvariantChecker over the trace (implies enable_trace).
   bool check_invariants = false;
+  /// Enables the fault-tolerance stack: NameNode-side heartbeat failure
+  /// detection, the ResourceManager liveness monitor, re-replication of
+  /// under-replicated blocks, and Ignem migration rerouting. Off by default
+  /// because the detection heartbeats change the dispatched-event count and
+  /// would break bit-identical fault-free traces.
+  bool fault_tolerance = false;
+  /// Detection timings, used when fault_tolerance is set.
+  FailureDetectorConfig detector;
 };
 
 /// A job plus its arrival offset from workload start.
@@ -78,10 +90,10 @@ struct ScheduledJob {
   JobSpec spec;
 };
 
-class Testbed {
+class Testbed : public FaultTarget {
  public:
   explicit Testbed(TestbedConfig config);
-  ~Testbed();
+  ~Testbed() override;
 
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;
@@ -100,6 +112,12 @@ class Testbed {
   /// when every job has finished.
   void run_workload(std::vector<ScheduledJob> jobs);
 
+  /// Like run_workload(), but gives up after `limit` of simulated time
+  /// (measured from the call). Returns true when every job completed.
+  /// Chaos experiments use this so a wedged schedule fails an assertion
+  /// instead of hanging the test binary.
+  bool run_workload_limited(std::vector<ScheduledJob> jobs, Duration limit);
+
   /// Submits one job now (asynchronously). The spec's use_ignem flag is
   /// forced to `allow_migration && <mode uses migration>`. Used by drivers
   /// that chain jobs (e.g. multi-stage Hive queries). Pair with
@@ -114,6 +132,24 @@ class Testbed {
   /// True when this mode migrates data (Ignem or the instant hypothetical).
   bool migration_enabled() const;
 
+  // FaultTarget — the injector's application surface, also callable directly
+  // by tests. Each method emits the matching kFault*/kRecover* trace event
+  // and applies the fault to every affected component.
+  void fail_node(NodeId node) override;
+  void restart_node(NodeId node) override;
+  void crash_master() override;
+  void restart_master() override;
+  void crash_slave(NodeId node) override;
+  void begin_disk_fail_stop(NodeId node) override;
+  void end_disk_fail_stop(NodeId node) override;
+  void begin_disk_fail_slow(NodeId node, double severity) override;
+  void end_disk_fail_slow(NodeId node) override;
+  void begin_network_degrade(NodeId node, double severity) override;
+  void end_network_degrade(NodeId node) override;
+  void begin_heartbeat_delay(NodeId node) override;
+  void end_heartbeat_delay(NodeId node) override;
+  std::size_t node_count() const override { return datanodes_.size(); }
+
   Simulator& sim() { return sim_; }
   RunMetrics& metrics() { return metrics_; }
   NameNode& namenode() { return *namenode_; }
@@ -124,6 +160,9 @@ class Testbed {
   IgnemSlave* ignem_slave(NodeId node);
   HotDataPromoter* hot_data_promoter(NodeId node);
   DataNode& datanode(NodeId node) { return *namenode_->datanode(node); }
+  ReplicationManager& replication_manager() { return *replication_manager_; }
+  /// Null unless config.fault_tolerance was set.
+  FailureDetector* failure_detector() { return detector_.get(); }
   const TestbedConfig& config() const { return config_; }
 
   /// Allocates a fresh JobId (monotonic; submission order == id order).
@@ -143,6 +182,9 @@ class Testbed {
 
  private:
   void sample_memory();
+  bool run_workload_to(std::vector<ScheduledJob> jobs, SimTime deadline);
+  void emit_fault_event(TraceEventType type, NodeId node,
+                        std::uint64_t detail = 0);
 
   TestbedConfig config_;
   // Declared before every traced component so it is destroyed after them
@@ -158,6 +200,8 @@ class Testbed {
   std::unique_ptr<Network> network_;
   std::unique_ptr<ResourceManager> rm_;
   std::unique_ptr<DfsClient> dfs_;
+  std::unique_ptr<ReplicationManager> replication_manager_;
+  std::unique_ptr<FailureDetector> detector_;
 
   std::unique_ptr<IgnemMaster> master_;
   std::vector<std::unique_ptr<IgnemSlave>> slaves_;
@@ -168,6 +212,11 @@ class Testbed {
   std::vector<std::unique_ptr<JobRunner>> runners_;
   std::int64_t next_job_ = 0;
   std::size_t jobs_remaining_ = 0;
+
+  // Background hog transfers pinned by fail-slow / network-degrade windows;
+  // aborted (never completed) when the window closes.
+  std::map<NodeId, std::vector<TransferHandle>> disk_hogs_;
+  std::map<NodeId, std::vector<TransferHandle>> net_hogs_;
 };
 
 }  // namespace ignem

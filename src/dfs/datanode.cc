@@ -43,9 +43,16 @@ Bytes DataNode::block_size(BlockId block) const {
 }
 
 void DataNode::read_block(BlockId block, JobId job, ReadCallback on_complete) {
-  IGNEM_CHECK_MSG(alive_, "read on failed DataNode " << id_.value());
   const Bytes size = block_size(block);
-  const bool from_memory = cache_.contains(block);
+  const bool from_memory = alive_ && cache_.contains(block);
+  if (!alive_ || (disk_failed_ && !from_memory)) {
+    // The serving process (or its disk) is gone: fail on the next sim step
+    // so the client can fall back to another replica.
+    sim_.schedule(Duration::zero(), [cb = std::move(on_complete)] {
+      cb(BlockReadResult{Duration::zero(), false, true});
+    });
+    return;
+  }
   if (trace_ != nullptr) {
     trace_->emit(from_memory ? TraceEventType::kCacheHit
                              : TraceEventType::kCacheMiss,
@@ -54,28 +61,62 @@ void DataNode::read_block(BlockId block, JobId job, ReadCallback on_complete) {
   }
   StorageDevice& device = from_memory ? *ram_ : *primary_;
   const SimTime start = sim_.now();
-  device.read(size, [this, block, job, start, from_memory,
-                     cb = std::move(on_complete)] {
-    const BlockReadResult result{sim_.now() - start, from_memory};
-    if (trace_ != nullptr) {
-      trace_->emit(TraceEventType::kBlockReadEnd, id_, block, job,
-                   block_size(block), from_memory ? 1 : 0);
-    }
-    if (listener_ != nullptr) listener_->on_block_read(id_, block, job);
-    cb(result);
-  });
+  const std::uint64_t id = next_read_++;
+  const TransferHandle handle =
+      device.read(size, [this, id, block, job, start, from_memory] {
+        const auto it = pending_reads_.find(id);
+        IGNEM_CHECK(it != pending_reads_.end());
+        ReadCallback cb = std::move(it->second.callback);
+        pending_reads_.erase(it);
+        const BlockReadResult result{sim_.now() - start, from_memory, false};
+        if (trace_ != nullptr) {
+          trace_->emit(TraceEventType::kBlockReadEnd, id_, block, job,
+                       block_size(block), from_memory ? 1 : 0);
+        }
+        if (listener_ != nullptr) listener_->on_block_read(id_, block, job);
+        cb(result);
+      });
+  pending_reads_.emplace(id,
+                         PendingRead{&device, handle, std::move(on_complete)});
 }
 
 void DataNode::write(Bytes bytes, std::function<void()> on_complete) {
-  IGNEM_CHECK_MSG(alive_, "write on failed DataNode " << id_.value());
+  if (!disk_ok()) {
+    sim_.schedule(Duration::zero(), std::move(on_complete));
+    return;
+  }
   primary_->write(bytes, std::move(on_complete));
+}
+
+void DataNode::abort_pending_reads(const StorageDevice* device) {
+  // Detach first: a fired callback may start a new read on this node.
+  std::map<std::uint64_t, PendingRead> failing;
+  for (auto it = pending_reads_.begin(); it != pending_reads_.end();) {
+    if (device == nullptr || it->second.device == device) {
+      failing.insert(pending_reads_.extract(it++));
+    } else {
+      ++it;
+    }
+  }
+  for (auto& [id, read] : failing) {
+    read.device->abort(read.handle);
+    sim_.schedule(Duration::zero(), [cb = std::move(read.callback)] {
+      cb(BlockReadResult{Duration::zero(), false, true});
+    });
+  }
 }
 
 void DataNode::fail() {
   alive_ = false;
   cache_.clear();  // the OS reclaims the dead process's locked pages
+  abort_pending_reads(nullptr);
 }
 
 void DataNode::restart() { alive_ = true; }
+
+void DataNode::set_disk_failed(bool failed) {
+  disk_failed_ = failed;
+  if (failed) abort_pending_reads(primary_.get());
+}
 
 }  // namespace ignem

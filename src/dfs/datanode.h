@@ -7,7 +7,9 @@
 // eviction, §III-B2).
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -33,6 +35,7 @@ class BlockReadListener {
 struct BlockReadResult {
   Duration duration;
   bool from_memory = false;
+  bool failed = false;  ///< The node (or its disk) died before the read ended.
 };
 
 class DataNode {
@@ -56,16 +59,28 @@ class DataNode {
 
   /// Reads a block for `job`; serves from the locked pool at RAM speed when
   /// present, otherwise from the primary device. Fires the listener after
-  /// the read completes, then the callback.
+  /// the read completes, then the callback. On a dead node or fail-stopped
+  /// disk the callback fires asynchronously with `failed = true` (no
+  /// kBlockReadStart is emitted) so the client can retry another replica.
   void read_block(BlockId block, JobId job, ReadCallback on_complete);
 
-  /// Writes `bytes` of job output through the primary device.
+  /// Writes `bytes` of job output through the primary device. On a dead
+  /// node or failed disk the write is lost but completes immediately, so
+  /// callers' completion barriers never hang; container-loss bookkeeping
+  /// discards the task's result anyway.
   void write(Bytes bytes, std::function<void()> on_complete);
 
   /// Process failure: all locked memory is reclaimed by the OS; stored
-  /// blocks persist on disk. `restart()` brings the process back.
+  /// blocks persist on disk. In-flight reads are aborted and their
+  /// callbacks fired with `failed = true`. `restart()` brings the process
+  /// back.
   void fail();
   void restart();
+
+  /// Disk fail-stop: the process stays up but the primary device refuses
+  /// service (in-flight disk reads fail). Locked-memory blocks still serve.
+  void set_disk_failed(bool failed);
+  bool disk_ok() const { return alive_ && !disk_failed_; }
 
   StorageDevice& primary_device() { return *primary_; }
   StorageDevice& ram_device() { return *ram_; }
@@ -79,6 +94,10 @@ class DataNode {
   void set_trace(TraceRecorder* trace);
 
  private:
+  /// Aborts in-flight reads (all of them, or only those on `device`) and
+  /// fires their callbacks with `failed = true` on the next sim step.
+  void abort_pending_reads(const StorageDevice* device);
+
   Simulator& sim_;
   TraceRecorder* trace_ = nullptr;
   NodeId id_;
@@ -87,7 +106,16 @@ class DataNode {
   BufferCache cache_;
   std::unordered_map<BlockId, Bytes> blocks_;
   bool alive_ = true;
+  bool disk_failed_ = false;
   BlockReadListener* listener_ = nullptr;
+
+  struct PendingRead {
+    StorageDevice* device;
+    TransferHandle handle;
+    ReadCallback callback;
+  };
+  std::map<std::uint64_t, PendingRead> pending_reads_;  // ordered: determinism
+  std::uint64_t next_read_ = 1;
 };
 
 }  // namespace ignem

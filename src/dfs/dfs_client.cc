@@ -11,9 +11,18 @@ DfsClient::DfsClient(Simulator& sim, NameNode& namenode, Network& network,
     : sim_(sim), namenode_(namenode), network_(network), metrics_(metrics) {}
 
 NodeId DfsClient::choose_replica(NodeId reader, BlockId block) const {
-  const std::vector<NodeId> locations = namenode_.live_locations(block);
-  IGNEM_CHECK_MSG(!locations.empty(),
-                  "no live replica for block " << block.value());
+  // A replica is reachable when its node is in the namespace map, its
+  // process is up, and either the block sits in locked memory or the disk
+  // works. (During an undetected crash the namespace still lists the node;
+  // the physical alive() check keeps us off it.)
+  std::vector<NodeId> locations;
+  for (const NodeId node : namenode_.live_locations(block)) {
+    const DataNode* dn = namenode_.datanode(node);
+    if (!dn->alive()) continue;
+    if (!dn->cache().contains(block) && !dn->disk_ok()) continue;
+    locations.push_back(node);
+  }
+  if (locations.empty()) return NodeId::invalid();
   const bool reader_has_replica =
       std::find(locations.begin(), locations.end(), reader) != locations.end();
 
@@ -45,16 +54,39 @@ NodeId DfsClient::choose_replica(NodeId reader, BlockId block) const {
 
 void DfsClient::read_block(NodeId reader, BlockId block, JobId job,
                            ReadCallback on_complete) {
+  attempt_read(reader, block, job, sim_.now(), std::move(on_complete));
+}
+
+void DfsClient::attempt_read(NodeId reader, BlockId block, JobId job,
+                             SimTime start, ReadCallback on_complete) {
   const NodeId source = choose_replica(reader, block);
+  if (!source.valid()) {
+    // Every replica is on a crashed node or failed disk. Wait for recovery
+    // or re-replication to restore one, then try again.
+    sim_.schedule(kReadRetryDelay,
+                  [this, reader, block, job, start,
+                   cb = std::move(on_complete)]() mutable {
+                    attempt_read(reader, block, job, start, std::move(cb));
+                  });
+    return;
+  }
   DataNode* source_node = namenode_.datanode(source);
   const Bytes bytes = namenode_.block(block).size;
-  const SimTime start = sim_.now();
   const bool remote = source != reader;
 
   source_node->read_block(
       block, job,
       [this, reader, source, block, job, bytes, start, remote,
        cb = std::move(on_complete)](const BlockReadResult& local) {
+        if (local.failed) {
+          // The source died mid-read; back off and pick another replica.
+          sim_.schedule(kReadRetryDelay,
+                        [this, reader, block, job, start, cb]() mutable {
+                          attempt_read(reader, block, job, start,
+                                       std::move(cb));
+                        });
+          return;
+        }
         auto finish = [this, reader, block, job, bytes, start, remote,
                        from_memory = local.from_memory, cb]() {
           BlockReadRecord record;

@@ -29,8 +29,16 @@ class DfsClient {
   /// local-cached > remote-cached > local-disk > remote-disk — the paper's
   /// migrated-replica locality preference plus the observation that a remote
   /// RAM read beats a local contended-disk read on a 10 Gbps network.
+  ///
+  /// Crash tolerance: replicas on crashed nodes or failed disks are skipped,
+  /// and a read that dies mid-flight (source crashed) retries another
+  /// replica after `kReadRetryDelay`. When no replica is reachable the
+  /// client keeps retrying until recovery or re-replication restores one;
+  /// the completion record's duration covers the whole wait.
   void read_block(NodeId reader, BlockId block, JobId job,
                   ReadCallback on_complete);
+
+  static constexpr Duration kReadRetryDelay = Duration::millis(500);
 
   /// Replica locations for scheduling, ordered so nodes holding a
   /// memory-resident copy come first.
@@ -47,8 +55,13 @@ class DfsClient {
   const NameNode& namenode() const { return namenode_; }
 
  private:
-  /// Picks the replica to read from; returns (node, from_memory_hint).
+  /// Picks the replica to read from; invalid() when none is reachable.
   NodeId choose_replica(NodeId reader, BlockId block) const;
+
+  /// One read attempt; re-schedules itself on failure. `start` is the time
+  /// of the original request, preserved across retries.
+  void attempt_read(NodeId reader, BlockId block, JobId job, SimTime start,
+                    ReadCallback on_complete);
 
   Simulator& sim_;
   NameNode& namenode_;

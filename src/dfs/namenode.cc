@@ -26,6 +26,23 @@ void NameNode::register_datanode(DataNode* node) {
   IGNEM_CHECK_MSG(node->id().value() == static_cast<std::int64_t>(nodes_.size()),
                   "DataNodes must register in NodeId order");
   nodes_.push_back(node);
+  last_heartbeat_.push_back(SimTime::zero());
+}
+
+void NameNode::record_heartbeat(NodeId id, SimTime now) {
+  IGNEM_CHECK(id.valid() &&
+              static_cast<std::size_t>(id.value()) < last_heartbeat_.size());
+  last_heartbeat_[static_cast<std::size_t>(id.value())] = now;
+}
+
+std::vector<NodeId> NameNode::expired_nodes(SimTime now) const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < last_heartbeat_.size(); ++i) {
+    const NodeId id(static_cast<std::int64_t>(i));
+    if (dead_nodes_.contains(id)) continue;
+    if (now - last_heartbeat_[i] > liveness_timeout_) out.push_back(id);
+  }
+  return out;
 }
 
 std::vector<NodeId> NameNode::place_replicas(std::size_t count) {

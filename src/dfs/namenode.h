@@ -63,6 +63,21 @@ class NameNode {
   /// Marks a whole server dead / alive again.
   void set_node_alive(NodeId id, bool alive);
 
+  bool is_node_alive(NodeId id) const { return !dead_nodes_.contains(id); }
+
+  /// Missed-heartbeat liveness (paper §III-A5 via HDFS semantics): the
+  /// FailureDetector feeds DataNode heartbeats in and periodically asks
+  /// which nodes have gone silent. The NameNode itself stays sim-passive —
+  /// it only bookkeeps; the detector drives detection and recovery.
+  void set_liveness_timeout(Duration timeout) { liveness_timeout_ = timeout; }
+  Duration liveness_timeout() const { return liveness_timeout_; }
+  void record_heartbeat(NodeId id, SimTime now);
+
+  /// Nodes not yet marked dead whose last heartbeat is older than the
+  /// liveness timeout at `now`. A node that has never beaten counts from
+  /// its registration time.
+  std::vector<NodeId> expired_nodes(SimTime now) const;
+
   Bytes block_size() const { return block_size_; }
   std::size_t file_count() const { return files_.size(); }
   std::size_t block_count() const { return blocks_.size(); }
@@ -98,6 +113,8 @@ class NameNode {
   TraceRecorder* trace_ = nullptr;
 
   std::vector<DataNode*> nodes_;                  // index == NodeId value
+  std::vector<SimTime> last_heartbeat_;           // index == NodeId value
+  Duration liveness_timeout_ = Duration::seconds(12);
   std::unordered_set<NodeId> dead_nodes_;
   std::unordered_map<FileId, FileInfo> files_;
   std::unordered_map<std::string, FileId> paths_;

@@ -19,15 +19,18 @@ ReplicationManager::ReplicationManager(Simulator& sim, NameNode& namenode,
 
 void ReplicationManager::handle_node_failure(NodeId node,
                                              int target_replication) {
-  namenode_.set_node_alive(node, false);
+  target_replication_ = target_replication;
+  if (namenode_.is_node_alive(node)) namenode_.set_node_alive(node, false);
   for (const auto& [block_id, info] : namenode_.all_blocks()) {
     const bool held_here =
         std::find(info.replicas.begin(), info.replicas.end(), node) !=
         info.replicas.end();
     if (!held_here) continue;
+    if (queued_.contains(block_id)) continue;
     const auto live = namenode_.live_locations(block_id);
     if (live.size() >= static_cast<std::size_t>(target_replication)) continue;
     queue_.push_back(block_id);
+    queued_.insert(block_id);
     ++stats_.blocks_scheduled;
   }
   pump();
@@ -41,24 +44,54 @@ void ReplicationManager::pump() {
   }
 }
 
+void ReplicationManager::retry_later(BlockId block) {
+  --in_flight_;
+  sim_.schedule(kRetryDelay, [this, block] {
+    queue_.push_back(block);  // still in queued_: no duplicate scheduling
+    pump();
+  });
+  pump();
+}
+
 void ReplicationManager::repair(BlockId block) {
-  const auto sources = namenode_.live_locations(block);
-  if (sources.empty()) {
-    // Every replica is gone: data loss, nothing to copy from.
-    ++stats_.blocks_unrepairable;
+  // Re-check first: a node rejoin or an earlier repair may have restored
+  // the factor while this block sat in the queue.
+  const auto live = namenode_.live_locations(block);
+  if (live.size() >= static_cast<std::size_t>(target_replication_)) {
+    queued_.erase(block);
     pump();
     return;
   }
-  // Target: a live node that does not already hold the block, chosen
-  // uniformly for load spreading.
+  // Source: a namespace-live replica whose process is actually up and can
+  // serve the block (locked memory or a working disk) — an undetected
+  // crash leaves a node in the namespace but unable to serve.
+  std::vector<NodeId> sources;
+  for (const NodeId node : live) {
+    const DataNode* dn = namenode_.datanode(node);
+    if (!dn->alive()) continue;
+    if (!dn->cache().contains(block) && !dn->disk_ok()) continue;
+    sources.push_back(node);
+  }
+  if (sources.empty()) {
+    // Every replica is gone: data loss, nothing to copy from.
+    ++stats_.blocks_unrepairable;
+    queued_.erase(block);
+    pump();
+    return;
+  }
+  // Target: a live, working node that does not already hold the block,
+  // chosen uniformly for load spreading. All namespace-live holders are in
+  // `live`, so excluding it also excludes every possible duplicate.
   std::vector<NodeId> candidates;
   for (const NodeId node : namenode_.live_nodes()) {
-    if (std::find(sources.begin(), sources.end(), node) == sources.end()) {
-      candidates.push_back(node);
-    }
+    if (std::find(live.begin(), live.end(), node) != live.end()) continue;
+    const DataNode* dn = namenode_.datanode(node);
+    if (!dn->alive() || !dn->disk_ok()) continue;
+    candidates.push_back(node);
   }
   if (candidates.empty()) {
     ++stats_.blocks_unrepairable;
+    queued_.erase(block);
     pump();
     return;
   }
@@ -75,13 +108,27 @@ void ReplicationManager::repair(BlockId block) {
   // Read from the surviving replica's disk, ship over the network, write on
   // the target — the normal repair pipeline, contending with foreground IO.
   namenode_.datanode(source)->read_block(
-      block, JobId::invalid(), [this, block, source, target, bytes](
-                                   const BlockReadResult&) {
+      block, JobId::invalid(),
+      [this, block, source, target, bytes](const BlockReadResult& read) {
+        if (read.failed) {  // source crashed mid-read
+          retry_later(block);
+          return;
+        }
         network_.transfer(source, target, bytes, [this, block, target, bytes] {
-          namenode_.datanode(target)->write(bytes, [this, block, target,
-                                                    bytes] {
+          DataNode* dn = namenode_.datanode(target);
+          if (!namenode_.is_node_alive(target) || !dn->disk_ok()) {
+            retry_later(block);  // target died mid-copy
+            return;
+          }
+          dn->write(bytes, [this, block, target, bytes] {
+            DataNode* dn = namenode_.datanode(target);
+            if (!namenode_.is_node_alive(target) || !dn->disk_ok()) {
+              retry_later(block);  // target died during the write
+              return;
+            }
             namenode_.add_replica(block, target);
             ++stats_.blocks_repaired;
+            queued_.erase(block);
             --in_flight_;
             if (trace_ != nullptr) {
               trace_->emit(TraceEventType::kRepairComplete, target, block,

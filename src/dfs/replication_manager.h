@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <unordered_set>
 
 #include "common/ids.h"
 #include "common/rng.h"
@@ -36,7 +37,10 @@ class ReplicationManager {
   ReplicationManager& operator=(const ReplicationManager&) = delete;
 
   /// Marks the node dead and queues repairs for every block that dropped
-  /// below its target replication.
+  /// below its target replication. Safe to call for an already-dead node
+  /// (only newly under-replicated blocks are queued); a repair whose source
+  /// or target dies mid-copy is retried on a fresh pair after a short
+  /// backoff.
   void handle_node_failure(NodeId node, int target_replication);
 
   const ReplicationStats& stats() const { return stats_; }
@@ -49,6 +53,10 @@ class ReplicationManager {
  private:
   void pump();
   void repair(BlockId block);
+  /// A repair attempt died mid-copy: put the block back after `kRetryDelay`.
+  void retry_later(BlockId block);
+
+  static constexpr Duration kRetryDelay = Duration::seconds(1);
 
   Simulator& sim_;
   NameNode& namenode_;
@@ -56,8 +64,10 @@ class ReplicationManager {
   Rng rng_;
   TraceRecorder* trace_ = nullptr;
   int max_concurrent_;
+  int target_replication_ = 3;
   int in_flight_ = 0;
   std::deque<BlockId> queue_;
+  std::unordered_set<BlockId> queued_;  ///< Queued or actively repairing.
   ReplicationStats stats_;
 };
 

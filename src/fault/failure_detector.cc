@@ -1,0 +1,84 @@
+#include "fault/failure_detector.h"
+
+#include "common/check.h"
+
+namespace ignem {
+
+FailureDetector::FailureDetector(Simulator& sim, NameNode& namenode,
+                                 FailureDetectorConfig config)
+    : sim_(sim), namenode_(namenode), config_(config) {
+  namenode_.set_liveness_timeout(config_.liveness_timeout);
+  const std::size_t n = namenode_.node_count();
+  IGNEM_CHECK(n > 0);
+  heartbeats_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId id(static_cast<std::int64_t>(i));
+    // Stagger first beats across one interval, like the RM's NodeManager
+    // heartbeats, so beats never synchronize cluster-wide.
+    const Duration offset = config_.heartbeat_interval *
+                            (static_cast<double>(i + 1) /
+                             static_cast<double>(n));
+    heartbeats_.push_back(std::make_unique<PeriodicTask>(
+        sim_, offset, config_.heartbeat_interval, [this, id] { beat(id); }));
+  }
+  monitor_ = std::make_unique<PeriodicTask>(
+      sim_, config_.check_interval, config_.check_interval,
+      [this] { check(); });
+}
+
+void FailureDetector::beat(NodeId node) {
+  namenode_.record_heartbeat(node, sim_.now());
+  if (!namenode_.is_node_alive(node)) {
+    // A beat from a declared-dead node: it restarted (block report rebuilds
+    // nothing here — the NameNode kept its block map) or was only silenced.
+    namenode_.set_node_alive(node, true);
+    if (trace_ != nullptr) {
+      trace_->emit(TraceEventType::kRecoverNodeRejoin, node,
+                   BlockId::invalid(), JobId::invalid(), 0, /*detail=*/0);
+    }
+    if (on_node_rejoined_ != nullptr) on_node_rejoined_(node);
+  }
+}
+
+void FailureDetector::check() {
+  for (const NodeId node : namenode_.expired_nodes(sim_.now())) {
+    if (trace_ != nullptr) {
+      trace_->emit(TraceEventType::kFaultDetectedDead, node,
+                   BlockId::invalid(), JobId::invalid(), 0, /*detail=*/0);
+    }
+    // The hook marks the node dead in the namespace (ReplicationManager
+    // does it as part of handle_node_failure); without a hook, do it here
+    // so detection is never silent.
+    if (on_node_dead_ != nullptr) {
+      on_node_dead_(node);
+    } else {
+      namenode_.set_node_alive(node, false);
+    }
+    IGNEM_CHECK_MSG(!namenode_.is_node_alive(node),
+                    "on_node_dead hook must mark the node dead");
+  }
+}
+
+void FailureDetector::halt_heartbeat(NodeId node) {
+  IGNEM_CHECK(node.valid() &&
+              static_cast<std::size_t>(node.value()) < heartbeats_.size());
+  heartbeats_[static_cast<std::size_t>(node.value())].reset();
+}
+
+void FailureDetector::resume_heartbeat(NodeId node) {
+  IGNEM_CHECK(node.valid() &&
+              static_cast<std::size_t>(node.value()) < heartbeats_.size());
+  auto& slot = heartbeats_[static_cast<std::size_t>(node.value())];
+  if (slot != nullptr) return;  // already beating
+  slot = std::make_unique<PeriodicTask>(sim_, config_.heartbeat_interval,
+                                        config_.heartbeat_interval,
+                                        [this, node] { beat(node); });
+}
+
+bool FailureDetector::heartbeat_running(NodeId node) const {
+  IGNEM_CHECK(node.valid() &&
+              static_cast<std::size_t>(node.value()) < heartbeats_.size());
+  return heartbeats_[static_cast<std::size_t>(node.value())] != nullptr;
+}
+
+}  // namespace ignem

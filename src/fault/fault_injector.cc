@@ -1,0 +1,92 @@
+#include "fault/fault_injector.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace ignem {
+
+FaultInjector::FaultInjector(Simulator& sim, FaultTarget& target,
+                             FaultPlan plan)
+    : sim_(sim), target_(target), plan_(std::move(plan)) {
+  depth_.resize(target_.node_count());
+}
+
+void FaultInjector::arm() {
+  IGNEM_CHECK_MSG(!armed_, "FaultInjector::arm called twice");
+  armed_ = true;
+  for (const FaultSpec& spec : plan_.faults) {
+    IGNEM_CHECK(spec.at >= Duration::zero());
+    IGNEM_CHECK(spec.kind == FaultKind::kMasterCrash ||
+                (spec.node.valid() && static_cast<std::size_t>(
+                                          spec.node.value()) < depth_.size()));
+    sim_.schedule(spec.at, [this, spec] { begin(spec); });
+    if (spec.kind != FaultKind::kSlaveCrash) {
+      sim_.schedule(spec.at + spec.duration, [this, spec] { end(spec); });
+    }
+  }
+}
+
+void FaultInjector::begin(const FaultSpec& spec) {
+  ++injected_;
+  Depths& d = depth_[spec.kind == FaultKind::kMasterCrash
+                         ? 0
+                         : static_cast<std::size_t>(spec.node.value())];
+  switch (spec.kind) {
+    case FaultKind::kNodeCrash:
+      if (d.crash++ == 0) target_.fail_node(spec.node);
+      break;
+    case FaultKind::kMasterCrash:
+      if (master_depth_++ == 0) target_.crash_master();
+      break;
+    case FaultKind::kSlaveCrash:
+      target_.crash_slave(spec.node);
+      break;
+    case FaultKind::kDiskFailStop:
+      if (d.disk_stop++ == 0) target_.begin_disk_fail_stop(spec.node);
+      break;
+    case FaultKind::kDiskFailSlow:
+      if (d.disk_slow++ == 0) {
+        target_.begin_disk_fail_slow(spec.node, spec.severity);
+      }
+      break;
+    case FaultKind::kNetworkDegrade:
+      if (d.network++ == 0) {
+        target_.begin_network_degrade(spec.node, spec.severity);
+      }
+      break;
+    case FaultKind::kHeartbeatDelay:
+      if (d.heartbeat++ == 0) target_.begin_heartbeat_delay(spec.node);
+      break;
+  }
+}
+
+void FaultInjector::end(const FaultSpec& spec) {
+  Depths& d = depth_[spec.kind == FaultKind::kMasterCrash
+                         ? 0
+                         : static_cast<std::size_t>(spec.node.value())];
+  switch (spec.kind) {
+    case FaultKind::kNodeCrash:
+      if (--d.crash == 0) target_.restart_node(spec.node);
+      break;
+    case FaultKind::kMasterCrash:
+      if (--master_depth_ == 0) target_.restart_master();
+      break;
+    case FaultKind::kSlaveCrash:
+      break;  // point fault, no end event scheduled
+    case FaultKind::kDiskFailStop:
+      if (--d.disk_stop == 0) target_.end_disk_fail_stop(spec.node);
+      break;
+    case FaultKind::kDiskFailSlow:
+      if (--d.disk_slow == 0) target_.end_disk_fail_slow(spec.node);
+      break;
+    case FaultKind::kNetworkDegrade:
+      if (--d.network == 0) target_.end_network_degrade(spec.node);
+      break;
+    case FaultKind::kHeartbeatDelay:
+      if (--d.heartbeat == 0) target_.end_heartbeat_delay(spec.node);
+      break;
+  }
+}
+
+}  // namespace ignem

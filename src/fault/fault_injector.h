@@ -1,0 +1,52 @@
+// FaultInjector: executes a FaultPlan through the Simulator.
+//
+// arm() schedules one begin event per fault and one end event at
+// `at + duration` (slave crashes are point faults with supervised restart,
+// so they get no end event). Overlapping windows of the same kind on the
+// same node are reference-counted: the target only sees the outermost
+// begin/end pair, so a plan generator never has to avoid collisions.
+#pragma once
+
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "fault/fault_target.h"
+#include "sim/simulator.h"
+
+namespace ignem {
+
+class FaultInjector {
+ public:
+  FaultInjector(Simulator& sim, FaultTarget& target, FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedules every fault in the plan. Call once, before running.
+  void arm();
+
+  const FaultPlan& plan() const { return plan_; }
+  std::size_t injected() const { return injected_; }
+
+ private:
+  void begin(const FaultSpec& spec);
+  void end(const FaultSpec& spec);
+
+  struct Depths {
+    int crash = 0;
+    int disk_stop = 0;
+    int disk_slow = 0;
+    int network = 0;
+    int heartbeat = 0;
+  };
+
+  Simulator& sim_;
+  FaultTarget& target_;
+  FaultPlan plan_;
+  std::vector<Depths> depth_;  // per node
+  int master_depth_ = 0;
+  bool armed_ = false;
+  std::size_t injected_ = 0;
+};
+
+}  // namespace ignem

@@ -1,0 +1,63 @@
+#include "fault/fault_plan.h"
+
+#include <iterator>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ignem {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeCrash: return "node_crash";
+    case FaultKind::kMasterCrash: return "master_crash";
+    case FaultKind::kSlaveCrash: return "slave_crash";
+    case FaultKind::kDiskFailStop: return "disk_fail_stop";
+    case FaultKind::kDiskFailSlow: return "disk_fail_slow";
+    case FaultKind::kNetworkDegrade: return "network_degrade";
+    case FaultKind::kHeartbeatDelay: return "heartbeat_delay";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::random(Rng& rng, std::size_t node_count,
+                            std::size_t fault_count, Duration horizon,
+                            Duration min_outage, Duration max_outage) {
+  IGNEM_CHECK(node_count > 0);
+  IGNEM_CHECK(horizon > Duration::zero());
+  IGNEM_CHECK(Duration::zero() < min_outage && min_outage <= max_outage);
+  static constexpr FaultKind kKinds[] = {
+      FaultKind::kNodeCrash,      FaultKind::kMasterCrash,
+      FaultKind::kSlaveCrash,     FaultKind::kDiskFailStop,
+      FaultKind::kDiskFailSlow,   FaultKind::kNetworkDegrade,
+      FaultKind::kHeartbeatDelay,
+  };
+  FaultPlan plan;
+  plan.faults.reserve(fault_count);
+  for (std::size_t i = 0; i < fault_count; ++i) {
+    FaultSpec spec;
+    spec.kind = kKinds[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(std::size(kKinds)) - 1))];
+    spec.at = Duration::micros(
+        rng.uniform_int(0, horizon.count_micros() - 1));
+    spec.duration = Duration::micros(rng.uniform_int(
+        min_outage.count_micros(), max_outage.count_micros()));
+    spec.node = NodeId(rng.uniform_int(
+        0, static_cast<std::int64_t>(node_count) - 1));
+    spec.severity = rng.uniform(2.0, 8.0);
+    plan.faults.push_back(spec);
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  for (const FaultSpec& spec : faults) {
+    os << fault_kind_name(spec.kind) << " node=" << spec.node.value()
+       << " at=" << spec.at.to_seconds() << "s dur="
+       << spec.duration.to_seconds() << "s sev=" << spec.severity << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ignem

@@ -1,0 +1,52 @@
+// FaultPlan: a deterministic schedule of typed faults.
+//
+// A plan is data — a list of (kind, start, duration, node, severity) — so
+// tests can craft exact scenarios and the chaos sweep can generate random
+// ones from a seeded Rng with recovery always scheduled.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace ignem {
+
+enum class FaultKind {
+  kNodeCrash,       ///< Whole server down for `duration`, then restart.
+  kMasterCrash,     ///< Ignem master down for `duration`, then restart.
+  kSlaveCrash,      ///< Ignem slave process crash (point fault; supervised
+                    ///< restart is immediate, `duration` ignored).
+  kDiskFailStop,    ///< Primary device refuses IO for `duration`.
+  kDiskFailSlow,    ///< Primary device slowed by `severity` for `duration`.
+  kNetworkDegrade,  ///< NIC contended by `severity` for `duration`.
+  kHeartbeatDelay,  ///< Heartbeats silenced for `duration` (processes live).
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNodeCrash;
+  Duration at;        ///< Injection time (from sim start).
+  Duration duration;  ///< Outage length; recovery fires at `at + duration`.
+  NodeId node;        ///< Ignored for kMasterCrash.
+  double severity = 1.0;  ///< Fail-slow / degrade intensity (>= 1).
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+
+  /// A random plan of `fault_count` faults over [0, horizon), every fault
+  /// kind eligible, uniform nodes, outages uniform in [min_outage,
+  /// max_outage]. Pure function of the Rng state: same seed, same plan.
+  static FaultPlan random(Rng& rng, std::size_t node_count,
+                          std::size_t fault_count, Duration horizon,
+                          Duration min_outage, Duration max_outage);
+
+  std::string to_string() const;  ///< One fault per line (diagnostics).
+};
+
+}  // namespace ignem

@@ -1,0 +1,56 @@
+// FaultTarget: the surface the fault injector drives.
+//
+// The injector schedules *when* faults begin and end; the target (Testbed in
+// practice) knows *how* to apply them to the simulated cluster and emits the
+// kFault*/kRecover* trace events. Keeping the interface here lets ignem_fault
+// sit below ignem_core in the dependency order.
+#pragma once
+
+#include <cstddef>
+
+#include "common/ids.h"
+
+namespace ignem {
+
+class FaultTarget {
+ public:
+  virtual ~FaultTarget() = default;
+
+  /// Whole-server crash: DataNode + NodeManager + Ignem slave processes die
+  /// together; locked memory is reclaimed; heartbeats stop.
+  virtual void fail_node(NodeId node) = 0;
+  /// The server restarts: processes come back empty, re-register, send a
+  /// block report, and resume heartbeating.
+  virtual void restart_node(NodeId node) = 0;
+
+  /// Ignem master process crash / restart (§III-A5).
+  virtual void crash_master() = 0;
+  virtual void restart_master() = 0;
+
+  /// Ignem slave process crash on one node — a point fault: the paper's
+  /// slave recovery is immediate process supervision restart.
+  virtual void crash_slave(NodeId node) = 0;
+
+  /// DataNode disk fail-stop window: reads/writes on the primary device
+  /// fail until the matching end call.
+  virtual void begin_disk_fail_stop(NodeId node) = 0;
+  virtual void end_disk_fail_stop(NodeId node) = 0;
+
+  /// Disk fail-slow window: the device stays correct but loses most of its
+  /// bandwidth to injected background load; `severity` >= 1 scales it.
+  virtual void begin_disk_fail_slow(NodeId node, double severity) = 0;
+  virtual void end_disk_fail_slow(NodeId node) = 0;
+
+  /// Network degradation window on one node's NIC.
+  virtual void begin_network_degrade(NodeId node, double severity) = 0;
+  virtual void end_network_degrade(NodeId node) = 0;
+
+  /// Heartbeat delay/drop window: the node's processes stay up but its
+  /// heartbeats stop arriving, so detectors may spuriously declare it dead.
+  virtual void begin_heartbeat_delay(NodeId node) = 0;
+  virtual void end_heartbeat_delay(NodeId node) = 0;
+
+  virtual std::size_t node_count() const = 0;
+};
+
+}  // namespace ignem

@@ -57,30 +57,48 @@ void JobRunner::submit(CompletionCallback on_complete) {
 
 void JobRunner::enter_scheduler() {
   rm_.register_job(id_);
-  for (std::size_t i = 0; i < maps_.size(); ++i) {
-    ContainerRequest request;
-    request.job = id_;
-    request.preferred = dfs_.preferred_locations(maps_[i].block);
-    request.on_allocated = [this, i](NodeId node) { launch_map(i, node); };
-    rm_.request_container(std::move(request));
-  }
+  map_epoch_.assign(maps_.size(), 0);
+  for (std::size_t i = 0; i < maps_.size(); ++i) request_map(i);
 }
 
-void JobRunner::launch_map(std::size_t index, NodeId node) {
+void JobRunner::request_map(std::size_t index) {
+  ContainerRequest request;
+  request.job = id_;
+  // Recompute preferences fresh: after a failure the replica set (and which
+  // copies sit in memory) may have changed since the original attempt.
+  request.preferred = dfs_.preferred_locations(maps_[index].block);
+  request.on_allocated = [this, index](const ContainerGrant& grant) {
+    launch_map(index, grant);
+  };
+  request.on_lost = [this, index] {
+    ++map_epoch_[index];
+    request_map(index);
+  };
+  rm_.request_container(std::move(request));
+}
+
+void JobRunner::launch_map(std::size_t index, const ContainerGrant& grant) {
   const SimTime start = sim_.now();
+  const NodeId node = grant.node;
+  const int epoch = map_epoch_[index];
   first_task_start_ = std::min(first_task_start_, start);
 
-  sim_.schedule(spec_.compute.task_overhead, [this, index, node, start] {
+  sim_.schedule(spec_.compute.task_overhead, [this, index, grant, node, start,
+                                              epoch] {
+    if (epoch != map_epoch_[index]) return;
     const MapTask& task = maps_[index];
     dfs_.read_block(
         node, task.block, id_,
-        [this, index, node, start](const BlockReadRecord& read) {
+        [this, index, grant, node, start, epoch](const BlockReadRecord& read) {
+          if (epoch != map_epoch_[index]) return;
           const MapTask& task = maps_[index];
           const double mib_in =
               static_cast<double>(task.bytes) / static_cast<double>(kMiB);
           const Duration compute =
               Duration::seconds(spec_.compute.map_cpu_secs_per_mib * mib_in);
-          sim_.schedule(compute, [this, index, node, start, read] {
+          sim_.schedule(compute, [this, index, grant, node, start, epoch,
+                                  read] {
+            if (epoch != map_epoch_[index]) return;
             const MapTask& task = maps_[index];
             if (metrics_ != nullptr) {
               TaskRecord record;
@@ -94,7 +112,7 @@ void JobRunner::launch_map(std::size_t index, NodeId node) {
               record.read_time = read.duration;
               metrics_->add_task(record);
             }
-            rm_.release_container(node);
+            rm_.release_container(grant);
             on_map_done();
           });
         });
@@ -111,27 +129,44 @@ void JobRunner::start_reduce_stage() {
     finish_job();
     return;
   }
+  reduce_epoch_.assign(static_cast<std::size_t>(reduce_count_), 0);
   for (int i = 0; i < reduce_count_; ++i) {
-    ContainerRequest request;
-    request.job = id_;
-    request.on_allocated = [this](NodeId node) { launch_reduce(node); };
-    rm_.request_container(std::move(request));
+    request_reduce(static_cast<std::size_t>(i));
   }
 }
 
-void JobRunner::launch_reduce(NodeId node) {
+void JobRunner::request_reduce(std::size_t index) {
+  ContainerRequest request;
+  request.job = id_;
+  request.on_allocated = [this, index](const ContainerGrant& grant) {
+    launch_reduce(index, grant);
+  };
+  request.on_lost = [this, index] {
+    ++reduce_epoch_[index];
+    request_reduce(index);
+  };
+  rm_.request_container(std::move(request));
+}
+
+void JobRunner::launch_reduce(std::size_t index, const ContainerGrant& grant) {
   const SimTime start = sim_.now();
+  const NodeId node = grant.node;
+  const int epoch = reduce_epoch_[index];
   const Bytes shuffle_share = shuffle_bytes_ / reduce_count_;
   const Bytes output_share = output_bytes_ / reduce_count_;
   const TaskId task_id(next_task_++);
 
-  sim_.schedule(spec_.compute.task_overhead, [this, node, start, shuffle_share,
+  sim_.schedule(spec_.compute.task_overhead, [this, index, grant, node, start,
+                                              epoch, shuffle_share,
                                               output_share, task_id] {
+    if (epoch != reduce_epoch_[index]) return;
     // Shuffle: fan-in through the reducer's NIC. Map outputs sit in the
     // senders' page caches, so the network is the chokepoint.
-    network_.ingress_transfer(node, shuffle_share, [this, node, start,
+    network_.ingress_transfer(node, shuffle_share, [this, index, grant, node,
+                                                    start, epoch,
                                                     shuffle_share, output_share,
                                                     task_id] {
+      if (epoch != reduce_epoch_[index]) return;
       const double mib =
           static_cast<double>(shuffle_share) / static_cast<double>(kMiB);
       const Duration compute =
@@ -140,8 +175,10 @@ void JobRunner::launch_reduce(NodeId node) {
       // output to the DFS as they go. The write still rides the local
       // device channel, so write-heavy jobs (sort) contend with reads.
       auto barrier = std::make_shared<int>(2);
-      auto arm = [this, node, start, shuffle_share, task_id, barrier] {
+      auto arm = [this, index, grant, node, start, epoch, shuffle_share,
+                  task_id, barrier] {
         if (--*barrier > 0) return;
+        if (epoch != reduce_epoch_[index]) return;
         if (metrics_ != nullptr) {
           TaskRecord record;
           record.task = task_id;
@@ -154,7 +191,7 @@ void JobRunner::launch_reduce(NodeId node) {
           record.read_time = Duration::zero();
           metrics_->add_task(record);
         }
-        rm_.release_container(node);
+        rm_.release_container(grant);
         on_reduce_done();
       };
       sim_.schedule(compute, arm);

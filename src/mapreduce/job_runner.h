@@ -48,10 +48,12 @@ class JobRunner {
   };
 
   void enter_scheduler();
-  void launch_map(std::size_t index, NodeId node);
+  void request_map(std::size_t index);
+  void launch_map(std::size_t index, const ContainerGrant& grant);
   void on_map_done();
   void start_reduce_stage();
-  void launch_reduce(NodeId node);
+  void request_reduce(std::size_t index);
+  void launch_reduce(std::size_t index, const ContainerGrant& grant);
   void on_reduce_done();
   void finish_job();
   void complete();
@@ -66,6 +68,11 @@ class JobRunner {
   CompletionCallback on_complete_;
 
   std::vector<MapTask> maps_;
+  // Attempt epochs: bumped when a task's container is lost to a node
+  // failure. In-flight continuations of the old attempt compare their
+  // captured epoch and drop out, so a task never completes twice.
+  std::vector<int> map_epoch_;
+  std::vector<int> reduce_epoch_;
   Bytes input_bytes_ = 0;
   Bytes shuffle_bytes_ = 0;
   Bytes output_bytes_ = 0;

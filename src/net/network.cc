@@ -9,7 +9,7 @@ Network::Network(Simulator& sim, std::size_t node_count, NetworkProfile profile)
   IGNEM_CHECK(node_count > 0);
   BandwidthProfile bw;
   bw.sequential_bw = profile.nic_bw;
-  bw.degradation = 0.0;
+  bw.degradation = profile.degradation;
   bw.per_stream_cap = profile.per_flow_cap;
   nics_.reserve(node_count);
   for (std::size_t i = 0; i < node_count; ++i) {

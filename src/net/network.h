@@ -23,6 +23,11 @@ struct NetworkProfile {
   Bandwidth nic_bw = gib_per_sec(1.25);  ///< 10 Gbps.
   Bandwidth per_flow_cap = gib_per_sec(1.25);
   Duration rtt = Duration::micros(200);
+  /// Aggregate NIC loss per extra concurrent flow (see BandwidthProfile).
+  /// Zero models the paper's uncontended datacenter fabric; experiments on
+  /// degraded networks (and the fault injector's contention windows) raise
+  /// it so concurrent flows genuinely slow each other down.
+  double degradation = 0.0;
 };
 
 class Network {
@@ -46,9 +51,11 @@ class Network {
   std::size_t node_count() const { return nics_.size(); }
   Bytes total_bytes_sent(NodeId node) const;
 
- private:
+  /// A node's NIC channel. Public so the fault injector can pin background
+  /// hog flows on it (network-degradation windows) and abort them later.
   SharedBandwidthResource& nic(NodeId node);
 
+ private:
   Simulator& sim_;
   NetworkProfile profile_;
   std::vector<std::unique_ptr<SharedBandwidthResource>> nics_;

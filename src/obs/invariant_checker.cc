@@ -206,6 +206,36 @@ void QueueIntegrityRule::check(const TraceEvent& event,
 
 // ---------------------------------------------------------------------------
 
+void NodeDownRule::check(const TraceEvent& event,
+                         std::vector<InvariantViolation>& out) {
+  switch (event.type) {
+    case TraceEventType::kFaultNodeCrash:
+      down_.insert(event.node);
+      return;
+    case TraceEventType::kRecoverNodeRestart:
+      down_.erase(event.node);
+      return;
+    // Activity that requires a live process on the node.
+    case TraceEventType::kCacheLock:
+    case TraceEventType::kCacheReserve:
+    case TraceEventType::kCacheCommit:
+    case TraceEventType::kContainerAllocate:
+    case TraceEventType::kMigrationStart:
+    case TraceEventType::kBlockReadStart:
+      break;
+    default:
+      return;
+  }
+  if (down_.contains(event.node)) {
+    std::ostringstream os;
+    os << trace_event_name(event.type) << " on node " << event.node
+       << " while it is crashed";
+    violate(event, os.str(), out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+
 void HotPromotionRule::check(const TraceEvent& event,
                              std::vector<InvariantViolation>& out) {
   switch (event.type) {
@@ -244,6 +274,7 @@ InvariantChecker::InvariantChecker(bool install_default_rules) {
   add_rule(std::make_unique<SingleMigrationRule>());
   add_rule(std::make_unique<QueueIntegrityRule>());
   add_rule(std::make_unique<HotPromotionRule>());
+  add_rule(std::make_unique<NodeDownRule>());
 }
 
 void InvariantChecker::add_rule(std::unique_ptr<InvariantRule> rule) {

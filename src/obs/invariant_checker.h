@@ -19,6 +19,9 @@
 //                             enqueue of the same (node, block, job)
 //   HotPromotionRule          the hot-data baseline only promotes blocks
 //                             whose observed read count reached its threshold
+//   NodeDownRule              no locked bytes, containers, migrations, or
+//                             reads on a node between its kFaultNodeCrash
+//                             and kRecoverNodeRestart events
 //
 // Violations are collected, not thrown: a run can finish and report every
 // breach, and tests can assert that crafted violating streams fire the
@@ -133,6 +136,21 @@ class QueueIntegrityRule : public InvariantRule {
 
  private:
   std::map<std::tuple<NodeId, BlockId, JobId>, std::int64_t> queued_;
+};
+
+/// Fault lifecycle: between a node's kFaultNodeCrash and its
+/// kRecoverNodeRestart the node's processes do not exist, so nothing may
+/// lock memory, accept a container, start a migration, or serve a read
+/// there. (Unlocks ARE allowed: the OS reclaims the dead process's locked
+/// pool at crash time.)
+class NodeDownRule : public InvariantRule {
+ public:
+  const char* name() const override { return "node_down"; }
+  void check(const TraceEvent& event,
+             std::vector<InvariantViolation>& out) override;
+
+ private:
+  std::unordered_set<NodeId> down_;
 };
 
 class HotPromotionRule : public InvariantRule {

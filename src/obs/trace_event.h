@@ -64,6 +64,27 @@ enum class TraceEventType : std::uint8_t {
   kEviction,          ///< reference list drained; block unlocked.
   kHotPromote,        ///< hot-data baseline promoted block;
                       ///< detail = access count at promotion.
+  // Fault injection and failure detection (src/fault). Fault-free runs
+  // never emit these, so pinned trace hashes are unaffected.
+  kFaultNodeCrash,      ///< whole server (DataNode + slave process) crashed.
+  kFaultMasterCrash,    ///< Ignem master process crashed.
+  kFaultSlaveCrash,     ///< Ignem slave process bounced (disk data survives).
+  kFaultDiskFailStop,   ///< primary device stopped serving IO.
+  kFaultDiskFailSlow,   ///< gray failure began; detail = injected hog streams.
+  kFaultNetworkDegrade, ///< NIC contention window began; detail = hog streams.
+  kFaultHeartbeatDelay, ///< node's heartbeats suppressed (process still runs).
+  kFaultDetectedDead,   ///< a detector declared node dead after missed
+                        ///< heartbeats; detail = 0 NameNode, 1 ResourceManager.
+  kRecoverNodeRestart,  ///< crashed server's processes are back up.
+  kRecoverNodeRejoin,   ///< detector readmitted a beating node;
+                        ///< detail = 0 NameNode, 1 ResourceManager.
+  kRecoverMasterRestart,///< replacement master serving requests.
+  kRecoverSlaveRestart, ///< slave process restarted with empty state.
+  kRecoverDisk,         ///< disk fault window (fail-stop or fail-slow) ended.
+  kRecoverNetwork,      ///< NIC contention window ended.
+  kRecoverHeartbeat,    ///< heartbeat suppression ended.
+  kMigrationRetry,      ///< master rerouted a migration off a dead node;
+                        ///< detail = retry attempt number.
   kCount              ///< Sentinel; not a real event.
 };
 

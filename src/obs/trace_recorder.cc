@@ -82,6 +82,22 @@ const char* trace_event_name(TraceEventType type) {
     case TraceEventType::kMigrationComplete: return "migration_complete";
     case TraceEventType::kEviction: return "eviction";
     case TraceEventType::kHotPromote: return "hot_promote";
+    case TraceEventType::kFaultNodeCrash: return "fault_node_crash";
+    case TraceEventType::kFaultMasterCrash: return "fault_master_crash";
+    case TraceEventType::kFaultSlaveCrash: return "fault_slave_crash";
+    case TraceEventType::kFaultDiskFailStop: return "fault_disk_fail_stop";
+    case TraceEventType::kFaultDiskFailSlow: return "fault_disk_fail_slow";
+    case TraceEventType::kFaultNetworkDegrade: return "fault_network_degrade";
+    case TraceEventType::kFaultHeartbeatDelay: return "fault_heartbeat_delay";
+    case TraceEventType::kFaultDetectedDead: return "fault_detected_dead";
+    case TraceEventType::kRecoverNodeRestart: return "recover_node_restart";
+    case TraceEventType::kRecoverNodeRejoin: return "recover_node_rejoin";
+    case TraceEventType::kRecoverMasterRestart: return "recover_master_restart";
+    case TraceEventType::kRecoverSlaveRestart: return "recover_slave_restart";
+    case TraceEventType::kRecoverDisk: return "recover_disk";
+    case TraceEventType::kRecoverNetwork: return "recover_network";
+    case TraceEventType::kRecoverHeartbeat: return "recover_heartbeat";
+    case TraceEventType::kMigrationRetry: return "migration_retry";
     case TraceEventType::kCount: break;
   }
   return "?";

@@ -1,0 +1,120 @@
+// Randomized chaos sweep: many seeds, each running a live workload under a
+// random schedule of node crashes, master/slave crashes, disk and network
+// faults, and heartbeat delays — with the full fault-tolerance stack on and
+// the InvariantChecker watching every event. Every seed must finish all
+// jobs, satisfy every invariant, agree with the NameNode's replica map, and
+// leak zero locked bytes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "core/testbed.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "bench/sweep_runner.h"
+#include "workload/swim.h"
+
+namespace ignem {
+namespace {
+
+struct ChaosResult {
+  std::uint64_t seed = 0;
+  bool completed = false;
+  std::size_t jobs = 0;
+  std::size_t faults_injected = 0;
+  std::string violations;        ///< Empty when every invariant held.
+  std::string replica_mismatch;  ///< Empty when trace and NameNode agree.
+  Bytes leaked_locked_bytes = 0;
+  std::string plan;  ///< For reproducing a failing seed.
+};
+
+ChaosResult run_chaos(RunMode mode, std::uint64_t seed) {
+  TestbedConfig config;
+  config.mode = mode;
+  config.cluster.node_count = 4;
+  config.cluster.slots_per_node = 6;
+  config.cache_capacity_per_node = 16 * kGiB;
+  config.seed = 1000 + seed;
+  config.fault_tolerance = true;
+  config.check_invariants = true;
+  Testbed testbed(config);
+
+  SwimConfig swim;
+  swim.job_count = 12;
+  swim.total_input = 3 * kGiB;
+  swim.tail_max = 1 * kGiB;
+  swim.mean_interarrival = Duration::seconds(3.0);
+  swim.seed = 100 + seed;
+  auto jobs = build_swim_workload(testbed, swim);
+
+  Rng rng(9000 + seed);
+  const FaultPlan plan = FaultPlan::random(
+      rng, config.cluster.node_count, /*fault_count=*/6,
+      /*horizon=*/Duration::seconds(90), /*min_outage=*/Duration::seconds(5),
+      /*max_outage=*/Duration::seconds(25));
+  FaultInjector injector(testbed.sim(), testbed, plan);
+  injector.arm();
+
+  ChaosResult result;
+  result.seed = seed;
+  result.plan = plan.to_string();
+  // Generous ceiling: a wedged recovery path fails the sweep instead of
+  // hanging the binary.
+  result.completed = testbed.run_workload_limited(std::move(jobs),
+                                                  Duration::seconds(7200));
+  result.jobs = testbed.metrics().jobs().size();
+  // The workload can finish mid-outage (e.g. a node still spuriously dead
+  // holding a rerouted migration's bytes until its rejoin purge). Run every
+  // remaining fault window to its end plus detection/rejoin slack before
+  // measuring leaks: zero *leaked* bytes means zero after recovery.
+  Duration last_fault_end = Duration::zero();
+  for (const FaultSpec& fault : plan.faults) {
+    last_fault_end = std::max(last_fault_end, fault.at + fault.duration);
+  }
+  const SimTime drain = SimTime::zero() + last_fault_end +
+                        Duration::seconds(30);
+  testbed.sim().run(drain > testbed.sim().now()
+                        ? drain
+                        : testbed.sim().now() + Duration::seconds(30));
+  result.faults_injected = injector.injected();
+  result.violations = testbed.invariant_checker()->report();
+  result.replica_mismatch = testbed.replica_model_mismatch();
+  for (std::size_t i = 0; i < config.cluster.node_count; ++i) {
+    result.leaked_locked_bytes +=
+        testbed.datanode(NodeId(static_cast<std::int64_t>(i))).cache().used();
+  }
+  return result;
+}
+
+void expect_clean(const ChaosResult& result, std::size_t expected_jobs) {
+  SCOPED_TRACE("seed " + std::to_string(result.seed) + "\nplan:\n" +
+               result.plan);
+  EXPECT_TRUE(result.completed) << "workload wedged";
+  EXPECT_EQ(result.jobs, expected_jobs);
+  EXPECT_GT(result.faults_injected, 0u);
+  EXPECT_EQ(result.violations, "");
+  EXPECT_EQ(result.replica_mismatch, "");
+  EXPECT_EQ(result.leaked_locked_bytes, 0u);
+}
+
+TEST(Chaos, RandomFaultSweepIgnem) {
+  constexpr std::size_t kSeeds = 20;
+  const auto results = bench::run_indexed_sweep(
+      kSeeds, [](std::size_t i) { return run_chaos(RunMode::kIgnem, i); });
+  for (const ChaosResult& result : results) expect_clean(result, 12u);
+}
+
+TEST(Chaos, RandomFaultSweepHdfs) {
+  // No master/slaves: master- and slave-crash faults must be safe no-ops,
+  // and the detection + re-replication + container-requeue paths must carry
+  // the workload on their own.
+  constexpr std::size_t kSeeds = 8;
+  const auto results = bench::run_indexed_sweep(
+      kSeeds, [](std::size_t i) { return run_chaos(RunMode::kHdfs, i); });
+  for (const ChaosResult& result : results) expect_clean(result, 12u);
+}
+
+}  // namespace
+}  // namespace ignem

@@ -39,7 +39,7 @@ TEST(ResourceManager, AllocationWaitsForHeartbeat) {
   double allocated_at = -1;
   ContainerRequest request;
   request.job = JobId(1);
-  request.on_allocated = [&](NodeId) { allocated_at = sim.now().to_seconds(); };
+  request.on_allocated = [&](const ContainerGrant&) { allocated_at = sim.now().to_seconds(); };
   rm.request_container(std::move(request));
   sim.run(SimTime::zero() + Duration::seconds(10));
   // Single node's first heartbeat is at one full interval (3 s).
@@ -53,7 +53,7 @@ TEST(ResourceManager, HeartbeatsStaggeredAcrossNodes) {
   for (int i = 0; i < 4; ++i) {
     ContainerRequest request;
     request.job = JobId(1);
-    request.on_allocated = [&](NodeId) {
+    request.on_allocated = [&](const ContainerGrant&) {
       times.push_back(sim.now().to_seconds());
     };
     rm.request_container(std::move(request));
@@ -72,7 +72,7 @@ TEST(ResourceManager, PrefersRequestedNode) {
   ContainerRequest request;
   request.job = JobId(1);
   request.preferred = {NodeId(3)};
-  request.on_allocated = [&](NodeId node) { got = node; };
+  request.on_allocated = [&](const ContainerGrant& grant) { got = grant.node; };
   rm.request_container(std::move(request));
   sim.run(SimTime::zero() + Duration::seconds(2));
   // Nodes 0..2 beat first but must be skipped (locality delay not expired).
@@ -90,7 +90,7 @@ TEST(ResourceManager, DelaySchedulingGivesUpLocality) {
   ContainerRequest filler;
   filler.job = JobId(1);
   filler.preferred = {NodeId(1)};
-  filler.on_allocated = [](NodeId) {};
+  filler.on_allocated = [](const ContainerGrant&) {};
   rm.request_container(std::move(filler));
 
   NodeId got = NodeId::invalid();
@@ -98,8 +98,8 @@ TEST(ResourceManager, DelaySchedulingGivesUpLocality) {
   ContainerRequest request;
   request.job = JobId(2);
   request.preferred = {NodeId(1)};
-  request.on_allocated = [&](NodeId node) {
-    got = node;
+  request.on_allocated = [&](const ContainerGrant& grant) {
+    got = grant.node;
     when = sim.now().to_seconds();
   };
   rm.request_container(std::move(request));
@@ -112,22 +112,22 @@ TEST(ResourceManager, DelaySchedulingGivesUpLocality) {
 TEST(ResourceManager, ReleaseMakesSlotVisibleNextHeartbeat) {
   Simulator sim;
   ResourceManager rm(sim, small_cluster(1, 1));
-  NodeId first = NodeId::invalid();
+  ContainerGrant first;
   ContainerRequest a;
   a.job = JobId(1);
-  a.on_allocated = [&](NodeId node) { first = node; };
+  a.on_allocated = [&](const ContainerGrant& grant) { first = grant; };
   rm.request_container(std::move(a));
 
   double second_at = -1;
   ContainerRequest b;
   b.job = JobId(2);
-  b.on_allocated = [&](NodeId) { second_at = sim.now().to_seconds(); };
+  b.on_allocated = [&](const ContainerGrant&) { second_at = sim.now().to_seconds(); };
   rm.request_container(std::move(b));
 
   sim.run(SimTime::zero() + Duration::seconds(3.5));
-  ASSERT_EQ(first, NodeId(0));
+  ASSERT_EQ(first.node, NodeId(0));
   EXPECT_EQ(second_at, -1);  // no free slot yet
-  rm.release_container(NodeId(0));
+  rm.release_container(first);
   sim.run(SimTime::zero() + Duration::seconds(10));
   EXPECT_NEAR(second_at, 6.0, 1e-6);  // the next beat after release
 }
@@ -140,7 +140,7 @@ TEST(ResourceManager, DeadNodeStopsAllocating) {
   for (int i = 0; i < 2; ++i) {
     ContainerRequest request;
     request.job = JobId(1);
-    request.on_allocated = [&](NodeId node) { allocated.push_back(node); };
+    request.on_allocated = [&](const ContainerGrant& grant) { allocated.push_back(grant.node); };
     rm.request_container(std::move(request));
   }
   sim.run(SimTime::zero() + Duration::seconds(30));
@@ -157,7 +157,7 @@ TEST(ResourceManager, ContainerLaunchDelayApplied) {
   double at = -1;
   ContainerRequest request;
   request.job = JobId(1);
-  request.on_allocated = [&](NodeId) { at = sim.now().to_seconds(); };
+  request.on_allocated = [&](const ContainerGrant&) { at = sim.now().to_seconds(); };
   rm.request_container(std::move(request));
   sim.run(SimTime::zero() + Duration::seconds(10));
   EXPECT_NEAR(at, 4.0, 1e-6);  // 3 s heartbeat + 1 s launch
@@ -180,7 +180,7 @@ TEST(ResourceManager, FifoAmongEquallyEligible) {
   for (int i = 0; i < 2; ++i) {
     ContainerRequest request;
     request.job = JobId(1);
-    request.on_allocated = [&order, i](NodeId) { order.push_back(i); };
+    request.on_allocated = [&order, i](const ContainerGrant&) { order.push_back(i); };
     rm.request_container(std::move(request));
   }
   sim.run(SimTime::zero() + Duration::seconds(4));

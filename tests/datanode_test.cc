@@ -78,10 +78,17 @@ TEST_F(DataNodeTest, FailClearsCacheAndBlocksReads) {
   node_.fail();
   EXPECT_FALSE(node_.alive());
   EXPECT_EQ(node_.cache().used(), 0);
-  EXPECT_THROW(node_.read_block(BlockId(1), JobId(1),
-                                [](const BlockReadResult&) {}),
-               CheckFailure);
-  EXPECT_THROW(node_.write(1, [] {}), CheckFailure);
+  // Dead-node IO fails asynchronously (so clients can retry a replica)
+  // rather than crashing the caller.
+  BlockReadResult result;
+  node_.read_block(BlockId(1), JobId(1),
+                   [&](const BlockReadResult& r) { result = r; });
+  bool write_done = false;
+  node_.write(1, [&] { write_done = true; });
+  sim_.run();
+  EXPECT_TRUE(result.failed);
+  EXPECT_TRUE(write_done);  // lost but completed: barriers never hang
+  EXPECT_EQ(node_.primary_device().total_bytes_completed(), 0);
 }
 
 TEST_F(DataNodeTest, RestartServesFromDiskAgain) {

@@ -1,0 +1,209 @@
+// Unit tests for the fault subsystem: plan generation, injector window
+// refcounting, and the disk/network degradation windows applied through a
+// Testbed.
+#include "fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/testbed.h"
+#include "fault/fault_plan.h"
+#include "fault/fault_target.h"
+#include "sim/simulator.h"
+
+namespace ignem {
+namespace {
+
+TEST(FaultPlan, RandomIsDeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  const FaultPlan plan_a = FaultPlan::random(a, 8, 12, Duration::seconds(60),
+                                             Duration::seconds(5),
+                                             Duration::seconds(20));
+  const FaultPlan plan_b = FaultPlan::random(b, 8, 12, Duration::seconds(60),
+                                             Duration::seconds(5),
+                                             Duration::seconds(20));
+  const FaultPlan plan_c = FaultPlan::random(c, 8, 12, Duration::seconds(60),
+                                             Duration::seconds(5),
+                                             Duration::seconds(20));
+  EXPECT_EQ(plan_a.to_string(), plan_b.to_string());
+  EXPECT_NE(plan_a.to_string(), plan_c.to_string());
+}
+
+TEST(FaultPlan, RandomRespectsBounds) {
+  Rng rng(3);
+  const FaultPlan plan = FaultPlan::random(rng, 4, 50, Duration::seconds(60),
+                                           Duration::seconds(5),
+                                           Duration::seconds(20));
+  ASSERT_EQ(plan.faults.size(), 50u);
+  for (const FaultSpec& fault : plan.faults) {
+    EXPECT_GE(fault.at, Duration::zero());
+    EXPECT_LT(fault.at, Duration::seconds(60));
+    EXPECT_GE(fault.duration, Duration::seconds(5));
+    EXPECT_LE(fault.duration, Duration::seconds(20));
+    if (fault.kind != FaultKind::kMasterCrash) {
+      ASSERT_TRUE(fault.node.valid());
+      EXPECT_LT(fault.node.value(), 4);
+    }
+    EXPECT_GE(fault.severity, 1.0);
+  }
+}
+
+/// Records begin/end calls so window refcounting is observable.
+class RecordingTarget : public FaultTarget {
+ public:
+  void fail_node(NodeId node) override { log("fail", node); }
+  void restart_node(NodeId node) override { log("restart", node); }
+  void crash_master() override { log("master-crash", NodeId::invalid()); }
+  void restart_master() override { log("master-restart", NodeId::invalid()); }
+  void crash_slave(NodeId node) override { log("slave-crash", node); }
+  void begin_disk_fail_stop(NodeId node) override { log("disk-stop", node); }
+  void end_disk_fail_stop(NodeId node) override { log("disk-ok", node); }
+  void begin_disk_fail_slow(NodeId node, double) override {
+    log("disk-slow", node);
+  }
+  void end_disk_fail_slow(NodeId node) override { log("disk-fast", node); }
+  void begin_network_degrade(NodeId node, double) override {
+    log("net-slow", node);
+  }
+  void end_network_degrade(NodeId node) override { log("net-ok", node); }
+  void begin_heartbeat_delay(NodeId node) override { log("hb-stop", node); }
+  void end_heartbeat_delay(NodeId node) override { log("hb-ok", node); }
+  std::size_t node_count() const override { return 4; }
+
+  std::vector<std::string> calls;
+
+ private:
+  void log(const std::string& what, NodeId node) {
+    calls.push_back(what + "@" + std::to_string(node.valid() ? node.value()
+                                                             : -1));
+  }
+};
+
+TEST(FaultInjector, OverlappingWindowsCollapseToOutermostPair) {
+  Simulator sim;
+  RecordingTarget target;
+  FaultPlan plan;
+  // Two overlapping crash windows on node 1: [2, 10) and [5, 20).
+  plan.faults.push_back({FaultKind::kNodeCrash, Duration::seconds(2),
+                         Duration::seconds(8), NodeId(1)});
+  plan.faults.push_back({FaultKind::kNodeCrash, Duration::seconds(5),
+                         Duration::seconds(15), NodeId(1)});
+  FaultInjector injector(sim, target, plan);
+  injector.arm();
+  sim.run();
+  EXPECT_EQ(injector.injected(), 2u);
+  // One fail (at t=2) and one restart (at t=20): the inner window is folded.
+  EXPECT_EQ(target.calls,
+            (std::vector<std::string>{"fail@1", "restart@1"}));
+}
+
+TEST(FaultInjector, DisjointWindowsEachReachTheTarget) {
+  Simulator sim;
+  RecordingTarget target;
+  FaultPlan plan;
+  plan.faults.push_back({FaultKind::kDiskFailStop, Duration::seconds(1),
+                         Duration::seconds(2), NodeId(0)});
+  plan.faults.push_back({FaultKind::kDiskFailStop, Duration::seconds(10),
+                         Duration::seconds(2), NodeId(0)});
+  plan.faults.push_back({FaultKind::kSlaveCrash, Duration::seconds(5),
+                         Duration::seconds(99), NodeId(2)});
+  FaultInjector injector(sim, target, plan);
+  injector.arm();
+  sim.run();
+  EXPECT_EQ(target.calls,
+            (std::vector<std::string>{"disk-stop@0", "disk-ok@0",
+                                      "slave-crash@2", "disk-stop@0",
+                                      "disk-ok@0"}));
+}
+
+TEST(FaultInjector, MasterCrashWindowsRefcountAcrossNodes) {
+  Simulator sim;
+  RecordingTarget target;
+  FaultPlan plan;
+  plan.faults.push_back({FaultKind::kMasterCrash, Duration::seconds(1),
+                         Duration::seconds(10), NodeId::invalid()});
+  plan.faults.push_back({FaultKind::kMasterCrash, Duration::seconds(3),
+                         Duration::seconds(3), NodeId::invalid()});
+  FaultInjector injector(sim, target, plan);
+  injector.arm();
+  sim.run();
+  EXPECT_EQ(target.calls, (std::vector<std::string>{"master-crash@-1",
+                                                    "master-restart@-1"}));
+}
+
+TestbedConfig small_testbed() {
+  TestbedConfig config;
+  config.mode = RunMode::kHdfs;
+  config.cluster.node_count = 2;
+  config.replication = 2;
+  config.fault_tolerance = true;
+  return config;
+}
+
+TEST(FaultWindows, DiskFailSlowThrottlesReads) {
+  // Measure one 64 MiB cold read with and without a fail-slow window.
+  auto read_seconds = [](bool slow) {
+    Testbed testbed(small_testbed());
+    testbed.create_file("/f", 64 * kMiB);
+    if (slow) testbed.begin_disk_fail_slow(NodeId(0), 4.0);
+    const BlockId block =
+        testbed.namenode().file(testbed.namenode().lookup("/f")).blocks[0];
+    const NodeId holder = testbed.namenode().block(block).replicas[0];
+    double t = -1;
+    testbed.datanode(holder).read_block(
+        block, JobId(1), [&](const BlockReadResult& r) {
+          ASSERT_FALSE(r.failed);
+          t = r.duration.to_seconds();
+        });
+    testbed.sim().run(SimTime::zero() + Duration::seconds(300));
+    return t;
+  };
+  const double clean = read_seconds(false);
+  const double degraded = read_seconds(true);
+  ASSERT_GT(clean, 0.0);
+  ASSERT_GT(degraded, 0.0);
+  // Four hog streams on an HDD channel: well over 4x slower.
+  EXPECT_GT(degraded, clean * 4.0);
+}
+
+TEST(FaultWindows, DiskRecoversAfterWindowEnds) {
+  Testbed testbed(small_testbed());
+  testbed.create_file("/f", 64 * kMiB);
+  const BlockId block =
+      testbed.namenode().file(testbed.namenode().lookup("/f")).blocks[0];
+  const NodeId holder = testbed.namenode().block(block).replicas[0];
+  testbed.begin_disk_fail_slow(holder, 8.0);
+  testbed.end_disk_fail_slow(holder);
+  EXPECT_EQ(testbed.datanode(holder).primary_device().active_requests(), 0u);
+  double t = -1;
+  testbed.datanode(holder).read_block(
+      block, JobId(1),
+      [&](const BlockReadResult& r) { t = r.duration.to_seconds(); });
+  testbed.sim().run(SimTime::zero() + Duration::seconds(60));
+  // Back at full speed: a 64 MiB HDD read takes well under 2 s.
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 2.0);
+}
+
+TEST(FaultWindows, NetworkDegradeSlowsTransfers) {
+  auto transfer_seconds = [](bool degrade) {
+    Testbed testbed(small_testbed());
+    if (degrade) testbed.begin_network_degrade(NodeId(0), 4.0);
+    double done = -1;
+    testbed.network().transfer(NodeId(0), NodeId(1), 256 * kMiB, [&] {
+      done = testbed.sim().now().to_seconds();
+    });
+    testbed.sim().run(SimTime::zero() + Duration::seconds(300));
+    return done;
+  };
+  const double clean = transfer_seconds(false);
+  const double degraded = transfer_seconds(true);
+  ASSERT_GT(clean, 0.0);
+  ASSERT_GT(degraded, 0.0);
+  EXPECT_GT(degraded, clean * 3.0);  // 4 hogs: ~5x less per-flow bandwidth
+}
+
+}  // namespace
+}  // namespace ignem

@@ -117,6 +117,34 @@ TEST_F(ReplicationManagerTest, CascadingFailuresStillConverge) {
   }
 }
 
+TEST_F(ReplicationManagerTest, UnrepairableBlocksDoNotStallOtherRepairs) {
+  build(5, 2);
+  // /a has a single block; killing both of its holders makes it permanently
+  // unrepairable (no live source). /b's blocks must still converge.
+  const FileId a = namenode_->create_file("/a", 64 * kMiB);
+  const BlockId lost = namenode_->file(a).blocks[0];
+  const std::vector<NodeId> holders = namenode_->block(lost).replicas;
+  ASSERT_EQ(holders.size(), 2u);
+  const FileId b = namenode_->create_file("/b", 640 * kMiB);  // 10 blocks
+  manager_->handle_node_failure(holders[0], replication_);
+  manager_->handle_node_failure(holders[1], replication_);
+  sim_.run();
+  EXPECT_GE(manager_->stats().blocks_unrepairable, 1u);
+  EXPECT_EQ(manager_->in_flight(), 0);
+  EXPECT_EQ(manager_->pending(), 0u);
+  EXPECT_EQ(live_replicas(lost), 0u);
+  // Every /b block with a surviving source is back at full replication;
+  // blocks that also lost both replicas are counted, not retried forever.
+  for (const BlockId block : namenode_->file(b).blocks) {
+    const std::size_t live = live_replicas(block);
+    EXPECT_TRUE(live == 2u || live == 0u) << "block " << block.value()
+                                          << " stuck at " << live;
+  }
+  EXPECT_EQ(manager_->stats().blocks_repaired +
+                manager_->stats().blocks_unrepairable,
+            manager_->stats().blocks_scheduled);
+}
+
 TEST_F(ReplicationManagerTest, AddReplicaValidations) {
   build(4, 2);
   const FileId file = namenode_->create_file("/a", 64 * kMiB);
