@@ -1,0 +1,188 @@
+// Scrubber bench: the integrity counterpart of bench_fault_recovery.
+//
+// Latent bit-rot lands on six nodes 5 s into a SWIM workload on the 8-server
+// Ignem testbed. A sweep over scrub intervals (off, 30 s, 10 s, 3 s) measures
+// the tradeoff the scrubber knob controls:
+//   - detection latency:   injection -> kCorruptionDetected (readers only
+//                          when the scrubber is off)
+//   - rot found/repaired:  corrupt replicas detected, invalidated, rebuilt
+//   - scrub IO:            verification reads issued in the background
+//   - makespan overhead:   vs. an otherwise-identical clean, scrub-free run
+#include <iostream>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/experiment_common.h"
+#include "metrics/table.h"
+
+namespace ignem::bench {
+namespace {
+
+constexpr double kRotAt = 5.0;
+constexpr std::size_t kRottenNodes = 6;
+/// Post-workload grace: long enough for the slowest sweep (30 s interval)
+/// to wrap its per-node cursor over every stored block.
+constexpr double kDrainSeconds = 3600.0;
+
+SwimConfig scrub_swim() {
+  SwimConfig swim;
+  swim.job_count = 60;
+  swim.total_input = 20 * kGiB;
+  swim.tail_max = 2 * kGiB;
+  swim.mean_interarrival = Duration::seconds(2.0);
+  swim.seed = 7;
+  return swim;
+}
+
+struct ScrubRun {
+  double interval_s = 0.0;  ///< 0 = scrubber off
+  double makespan_s = 0.0;
+  std::size_t injected = 0;
+  std::size_t detected = 0;
+  double mean_detect_latency_s = 0.0;
+  std::uint64_t blocks_scanned = 0;
+  std::uint64_t repaired = 0;
+  std::uint64_t invalidated = 0;
+  std::uint64_t unrepairable = 0;
+};
+
+double makespan_seconds(const RunMetrics& metrics) {
+  double last = 0.0;
+  for (const JobRecord& job : metrics.jobs()) {
+    last = std::max(last, job.end.to_seconds());
+  }
+  return last;
+}
+
+/// Rots one stored replica on each of the first kRottenNodes nodes. Picks a
+/// block from the middle of each node's scan order — ahead of every cursor
+/// at kRotAt, so detection time reflects the scrub interval rather than a
+/// full cursor wraparound — and never rots two replicas of the same block.
+void inject_rot(Testbed& testbed) {
+  std::set<BlockId> rotten;
+  for (std::size_t i = 0; i < kRottenNodes; ++i) {
+    const NodeId node(static_cast<std::int64_t>(i));
+    const auto blocks = testbed.datanode(node).blocks_sorted();
+    for (std::size_t j = blocks.size() / 2; j < blocks.size(); ++j) {
+      if (rotten.contains(blocks[j])) continue;
+      testbed.corrupt_replica(node, blocks[j]);
+      rotten.insert(blocks[j]);
+      break;
+    }
+  }
+}
+
+ScrubRun run_one(double interval_s, bool corrupt) {
+  // Stock HDFS so the only checksum passes are foreground reads and the
+  // scrubber (Ignem's migration verification would mask the comparison).
+  TestbedConfig config = paper_testbed(RunMode::kHdfs);
+  config.enable_trace = true;  // detection latency comes from the trace
+  config.integrity.enable_scrubber = interval_s > 0.0;
+  if (interval_s > 0.0) {
+    config.integrity.scrub_interval = Duration::seconds(interval_s);
+  }
+  Testbed testbed(config);
+  auto jobs = build_swim_workload(testbed, scrub_swim());
+  if (corrupt) {
+    testbed.sim().schedule(Duration::seconds(kRotAt),
+                           [&testbed] { inject_rot(testbed); });
+  }
+  testbed.run_workload(std::move(jobs));
+  // Latent rot the workload never read survives it; let the scrubber keep
+  // sweeping so each interval's full detection latency is measurable.
+  if (corrupt) {
+    testbed.sim().run(testbed.sim().now() + Duration::seconds(kDrainSeconds));
+  }
+  report().add_run(testbed);
+
+  ScrubRun result;
+  result.interval_s = interval_s;
+  result.makespan_s = makespan_seconds(testbed.metrics());
+  // Pair every injection with its first detection, whatever pass found it
+  // (scrub, read, or migration verification).
+  std::map<std::pair<std::int64_t, std::int64_t>, double> pending;
+  double latency_sum = 0.0;
+  for (const TraceEvent& event : testbed.trace()->events()) {
+    const auto key = std::make_pair(event.node.value(), event.block.value());
+    if (event.type == TraceEventType::kFaultBlockCorrupt) {
+      ++result.injected;
+      pending.emplace(key, event.time.to_seconds());
+    } else if (event.type == TraceEventType::kCorruptionDetected) {
+      const auto it = pending.find(key);
+      if (it != pending.end()) {
+        ++result.detected;
+        latency_sum += event.time.to_seconds() - it->second;
+        pending.erase(it);
+      }
+    }
+  }
+  if (result.detected > 0) {
+    result.mean_detect_latency_s =
+        latency_sum / static_cast<double>(result.detected);
+  }
+  if (testbed.scrubber() != nullptr) {
+    result.blocks_scanned = testbed.scrubber()->stats().blocks_scanned;
+  }
+  const ReplicationStats& repair = testbed.replication_manager().stats();
+  result.repaired = repair.blocks_repaired;
+  result.invalidated = repair.corrupt_invalidated;
+  result.unrepairable = repair.blocks_unrepairable;
+  return result;
+}
+
+std::string interval_name(double interval_s) {
+  return interval_s > 0.0
+             ? "scrub_" + std::to_string(static_cast<int>(interval_s)) + "s"
+             : "scrub_off";
+}
+
+void run() {
+  print_header("Background scrubbing vs. latent rot (8 nodes, SWIM)");
+
+  // Clean reference: no rot, no scrubber — the makespan denominator.
+  const ScrubRun clean = run_one(0.0, /*corrupt=*/false);
+
+  const std::vector<double> intervals = {0.0, 30.0, 10.0, 3.0};
+  const auto runs = run_indexed_sweep(intervals.size(), [&](std::size_t i) {
+    return run_one(intervals[i], /*corrupt=*/true);
+  });
+
+  TextTable table({"Scrub interval", "Detected", "Mean latency (s)",
+                   "Scrub reads", "Repaired", "Overhead (x)"});
+  for (const ScrubRun& run : runs) {
+    const double overhead = run.makespan_s / clean.makespan_s;
+    table.add_row({run.interval_s > 0.0
+                       ? TextTable::fixed(run.interval_s, 0) + " s"
+                       : "off",
+                   std::to_string(run.detected) + "/" +
+                       std::to_string(run.injected),
+                   run.detected > 0 ? TextTable::fixed(run.mean_detect_latency_s)
+                                    : "-",
+                   std::to_string(run.blocks_scanned),
+                   std::to_string(run.repaired),
+                   TextTable::fixed(overhead, 3)});
+    const std::string key = interval_name(run.interval_s);
+    report().metric(key + "_detected", static_cast<double>(run.detected));
+    report().metric(key + "_mean_latency_s", run.mean_detect_latency_s);
+    report().metric(key + "_scrub_reads",
+                    static_cast<double>(run.blocks_scanned));
+    report().metric(key + "_repaired", static_cast<double>(run.repaired));
+    report().metric(key + "_unrepairable",
+                    static_cast<double>(run.unrepairable));
+    report().metric(key + "_makespan_overhead",
+                    clean.makespan_s > 0 ? run.makespan_s / clean.makespan_s
+                                         : 0.0);
+  }
+  std::cout << table.render() << "\n";
+  report().metric("clean_makespan_s", clean.makespan_s);
+  report().metric("rot_injected", static_cast<double>(kRottenNodes));
+}
+
+}  // namespace
+}  // namespace ignem::bench
+
+int main() { return ignem::bench::bench_main("scrubber", ignem::bench::run); }

@@ -82,15 +82,7 @@ void IgnemMaster::do_migrate(const MigrationRequest& request) {
                               locations.begin() + static_cast<std::ptrdiff_t>(count));
     }
   }
-  for (auto& [node, batch] : batches) {
-    ++stats_.batches_sent;
-    sim_.schedule(config_.rpc_latency,
-                  [this, node, batch = std::move(batch)] {
-                    if (failed_) return;
-                    slaves_[static_cast<std::size_t>(node.value())]
-                        ->handle_migrate_batch(batch);
-                  });
-  }
+  send_migrate_batches(batches);
 }
 
 void IgnemMaster::do_evict(const MigrationRequest& request) {
@@ -129,63 +121,57 @@ void IgnemMaster::fail() {
 
 void IgnemMaster::restart() { failed_ = false; }
 
-void IgnemMaster::on_node_failure(NodeId node) {
-  if (failed_) return;
-  std::map<NodeId, std::vector<PendingMigration>> batches;
-  for (auto it = chosen_.begin(); it != chosen_.end();) {
-    std::vector<NodeId>& targets = it->second;
-    const auto pos = std::find(targets.begin(), targets.end(), node);
-    if (pos == targets.end()) {
-      ++it;
-      continue;
-    }
-    targets.erase(pos);
-    const auto [job, block] = it->first;
-    const int attempt = ++retries_[it->first];
-    NodeId replacement = NodeId::invalid();
-    if (attempt <= config_.max_migration_retries) {
-      // A surviving replica not already chosen, whose process and disk are
-      // actually up (the namespace may still list undetected crashes).
-      for (const NodeId cand : namenode_.live_locations(block)) {
-        if (std::find(targets.begin(), targets.end(), cand) != targets.end()) {
-          continue;
-        }
-        const DataNode* dn = namenode_.datanode(cand);
-        if (!dn->alive() || !dn->disk_ok()) continue;
-        replacement = cand;
-        break;
+bool IgnemMaster::reroute_away(
+    const std::pair<JobId, BlockId>& key, std::vector<NodeId>& targets,
+    NodeId away, std::map<NodeId, std::vector<PendingMigration>>& batches) {
+  const auto pos = std::find(targets.begin(), targets.end(), away);
+  if (pos == targets.end()) return false;
+  targets.erase(pos);
+  const auto [job, block] = key;
+  const int attempt = ++retries_[key];
+  NodeId replacement = NodeId::invalid();
+  if (attempt <= config_.max_migration_retries) {
+    // A surviving replica not already chosen, whose process and disk are
+    // actually up (the namespace may still list undetected crashes).
+    // live_locations also excludes corrupt-marked replicas.
+    for (const NodeId cand : namenode_.live_locations(block)) {
+      if (std::find(targets.begin(), targets.end(), cand) != targets.end()) {
+        continue;
       }
+      const DataNode* dn = namenode_.datanode(cand);
+      if (!dn->alive() || !dn->disk_ok()) continue;
+      replacement = cand;
+      break;
     }
-    const auto info = job_info_.find(job);
-    if (!replacement.valid() || info == job_info_.end()) {
-      // Out of retries or replicas (or the job already finished): drop.
-      if (targets.empty()) {
-        it = chosen_.erase(it);
-      } else {
-        ++it;
-      }
-      continue;
-    }
-    const Duration backoff =
-        std::min(config_.retry_backoff_base *
-                     static_cast<double>(std::int64_t{1} << (attempt - 1)),
-                 config_.retry_backoff_cap);
-    PendingMigration command;
-    command.block = block;
-    command.bytes = namenode_.block(block).size;
-    command.job = job;
-    command.job_input_bytes = info->second.first;
-    command.eviction = info->second.second;
-    command.not_before = sim_.now() + backoff;
-    batches[replacement].push_back(command);
-    targets.push_back(replacement);
-    ++stats_.migrate_commands;
-    if (trace_ != nullptr) {
-      trace_->emit(TraceEventType::kMigrationRetry, replacement, block, job,
-                   command.bytes, attempt);
-    }
-    ++it;
   }
+  const auto info = job_info_.find(job);
+  if (!replacement.valid() || info == job_info_.end()) {
+    // Out of retries or replicas (or the job already finished): drop.
+    return targets.empty();
+  }
+  const Duration backoff =
+      std::min(config_.retry_backoff_base *
+                   static_cast<double>(std::int64_t{1} << (attempt - 1)),
+               config_.retry_backoff_cap);
+  PendingMigration command;
+  command.block = block;
+  command.bytes = namenode_.block(block).size;
+  command.job = job;
+  command.job_input_bytes = info->second.first;
+  command.eviction = info->second.second;
+  command.not_before = sim_.now() + backoff;
+  batches[replacement].push_back(command);
+  targets.push_back(replacement);
+  ++stats_.migrate_commands;
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kMigrationRetry, replacement, block, job,
+                 command.bytes, attempt);
+  }
+  return false;
+}
+
+void IgnemMaster::send_migrate_batches(
+    std::map<NodeId, std::vector<PendingMigration>>& batches) {
   for (auto& [target, batch] : batches) {
     ++stats_.batches_sent;
     sim_.schedule(config_.rpc_latency,
@@ -195,6 +181,33 @@ void IgnemMaster::on_node_failure(NodeId node) {
                         ->handle_migrate_batch(batch);
                   });
   }
+}
+
+void IgnemMaster::on_node_failure(NodeId node) {
+  if (failed_) return;
+  std::map<NodeId, std::vector<PendingMigration>> batches;
+  for (auto it = chosen_.begin(); it != chosen_.end();) {
+    if (reroute_away(it->first, it->second, node, batches)) {
+      it = chosen_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  send_migrate_batches(batches);
+}
+
+void IgnemMaster::on_replica_corrupt(BlockId block, NodeId node) {
+  if (failed_) return;
+  std::map<NodeId, std::vector<PendingMigration>> batches;
+  for (auto it = chosen_.begin(); it != chosen_.end();) {
+    if (it->first.second == block &&
+        reroute_away(it->first, it->second, node, batches)) {
+      it = chosen_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  send_migrate_batches(batches);
 }
 
 void IgnemMaster::on_node_rejoin(NodeId node) {

@@ -67,6 +67,12 @@ class IgnemMaster : public MigrationService {
   /// matches the master's and no locked bytes leak.
   void on_node_rejoin(NodeId node);
 
+  /// Integrity hook: `node`'s replica of `block` was found corrupt. Every
+  /// migration of that block chosen onto `node` reroutes to a clean replica
+  /// under the same backoff schedule as a node failure (the slave itself
+  /// purged any copy it held).
+  void on_replica_corrupt(BlockId block, NodeId node);
+
   const MasterStats& stats() const { return stats_; }
   bool failed() const { return failed_; }
 
@@ -80,6 +86,16 @@ class IgnemMaster : public MigrationService {
   void process(const MigrationRequest& request);
   void do_migrate(const MigrationRequest& request);
   void do_evict(const MigrationRequest& request);
+  /// Drops `away` from one chosen_ entry's target list and reroutes that
+  /// migration to a surviving replica (capped exponential backoff), appending
+  /// the command to `batches`. Returns true when the entry ended up with no
+  /// targets and no replacement, i.e. the caller should erase it.
+  bool reroute_away(const std::pair<JobId, BlockId>& key,
+                    std::vector<NodeId>& targets, NodeId away,
+                    std::map<NodeId, std::vector<PendingMigration>>& batches);
+  /// Ships each per-slave batch after one RPC latency.
+  void send_migrate_batches(
+      std::map<NodeId, std::vector<PendingMigration>>& batches);
 
   Simulator& sim_;
   NameNode& namenode_;

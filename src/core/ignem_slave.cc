@@ -141,6 +141,26 @@ void IgnemSlave::on_migration_complete(BlockId block, Bytes bytes) {
   // reservation, so the late event is a no-op.
   if (!current_.has_value() || current_->block != block) return;
   current_.reset();
+  if (datanode_.is_corrupt(block)) {
+    // The checksum pass over the paged-in bytes failed: the local disk
+    // replica is rotten, and committing it would amplify the rot into a
+    // RAM-speed copy. Abort the commit (detail=1, like other aborted
+    // migrations), drop the command state, and report — the master
+    // reroutes the interested jobs to a clean replica.
+    datanode_.cache().cancel_reservation(bytes);
+    if (trace_ != nullptr) {
+      trace_->emit(TraceEventType::kMigrationComplete, datanode_.id(), block,
+                   JobId::invalid(), bytes, 1);
+    }
+    const auto bad = blocks_.find(block);
+    IGNEM_CHECK(bad != blocks_.end());
+    bad->second.phase = Phase::kQueued;  // nothing locked: plain drop
+    drop_block(block);
+    datanode_.report_corruption(block, /*cached=*/false,
+                                CorruptionSource::kMigration);
+    maybe_start();
+    return;
+  }
   ++stats_.migrations_completed;
   stats_.bytes_migrated += bytes;
   if (trace_ != nullptr) {
@@ -247,6 +267,20 @@ void IgnemSlave::cleanup_dead_jobs() {
 void IgnemSlave::on_master_failure() {
   // Match the new master's empty state (§III-A5).
   purge_all();
+}
+
+bool IgnemSlave::purge_block(BlockId block) {
+  const auto it = blocks_.find(block);
+  if (it == blocks_.end()) return false;
+  if (it->second.phase == Phase::kMigrating) {
+    // In-flight page-in: on_migration_complete verifies the source and
+    // aborts the commit itself.
+    return false;
+  }
+  const bool had_copy = it->second.phase == Phase::kInMemory;
+  drop_block(block);
+  maybe_start();  // the queue may have been memory-stalled
+  return had_copy;
 }
 
 void IgnemSlave::purge_all() {

@@ -64,6 +64,14 @@ class IgnemSlave : public BlockReadListener {
   /// The master failed: purge all reference lists to match its empty state.
   void on_master_failure();
 
+  /// Integrity purge: drops one block's migration state — queued command or
+  /// memory-resident copy — and every job reference to it (the copy is
+  /// corrupt, or its disk replica was invalidated so the copy is
+  /// unreachable). An in-flight page-in is left alone: its completion
+  /// verifies the source and aborts there. Returns true when a locked copy
+  /// was actually unlocked.
+  bool purge_block(BlockId block);
+
   /// Drops every migration and reference and unlocks all memory. Also used
   /// when the master orders a rejoining (spuriously-declared-dead) slave to
   /// resynchronize with state the master no longer tracks.

@@ -115,6 +115,34 @@ Testbed::Testbed(TestbedConfig config)
     });
   }
 
+  // Data-integrity plane. The manager schedules nothing and reports only
+  // fire when a checksum pass actually finds rot, so fault-free traces stay
+  // bit-identical; only the opt-in scrubber generates background events.
+  integrity_ = std::make_unique<IntegrityManager>(
+      *namenode_, *replication_manager_, config_.replication);
+  integrity_->set_trace(trace_.get());
+  integrity_->set_cache_purger([this](NodeId node, BlockId block) {
+    IgnemSlave* slave = ignem_slave(node);
+    if (slave != nullptr) return slave->purge_block(block);
+    BufferCache& cache = datanode(node).cache();
+    if (!cache.contains(block)) return false;
+    return cache.unlock(block);
+  });
+  integrity_->set_on_disk_corrupt([this](BlockId block, NodeId node) {
+    if (master_ != nullptr) master_->on_replica_corrupt(block, node);
+  });
+  for (const auto& dn : datanodes_) {
+    dn->set_corruption_reporter([this](NodeId node, BlockId block, bool cached,
+                                       CorruptionSource source) {
+      integrity_->report(node, block, cached, source);
+    });
+  }
+  dfs_->set_read_deadline(config_.integrity.read_deadline);
+  if (config_.integrity.enable_scrubber) {
+    scrubber_ = std::make_unique<Scrubber>(sim_, *namenode_,
+                                           config_.integrity);
+  }
+
   if (config_.memory_sample_period > Duration::zero() &&
       (config_.mode == RunMode::kIgnem ||
        config_.mode == RunMode::kInstantMigration)) {
@@ -153,6 +181,44 @@ std::string Testbed::replica_model_mismatch() const {
     if (!namenode_->all_blocks().contains(block_id)) {
       out << "trace has replicas for block " << block_id.value()
           << " unknown to the NameNode";
+      return out.str();
+    }
+  }
+  return {};
+}
+
+std::string Testbed::integrity_accounting_mismatch() const {
+  std::ostringstream out;
+  const IntegrityStats& stats = integrity_->stats();
+  const std::uint64_t invalidated =
+      replication_manager_->stats().corrupt_invalidated;
+  const std::uint64_t still_marked = namenode_->corrupt_replica_count();
+  // Every accepted stored-corruption report ends exactly one of two ways:
+  // the bad replica was invalidated, or (unrepairable) it is still marked.
+  if (stats.disk_corrupt_detected != invalidated + still_marked) {
+    out << "disk corruption accounting: detected="
+        << stats.disk_corrupt_detected << ", invalidated=" << invalidated
+        << ", still marked=" << still_marked;
+    return out.str();
+  }
+  // A surviving mark must sit on a replica the namespace still lists.
+  for (const auto& [block_id, info] : namenode_->all_blocks()) {
+    for (const NodeId node : namenode_->corrupt_replicas(block_id)) {
+      if (std::find(info.replicas.begin(), info.replicas.end(), node) ==
+          info.replicas.end()) {
+        out << "block " << block_id.value() << ": corrupt mark on node "
+            << node.value() << " which no longer holds a replica";
+        return out.str();
+      }
+    }
+  }
+  // Cached-copy marks live exactly as long as the copy; with caches drained
+  // none may remain.
+  for (const auto& dn : datanodes_) {
+    if (dn->cache().corrupt_count() != 0) {
+      out << "node " << dn->id().value() << ": "
+          << dn->cache().corrupt_count()
+          << " cache corruption marks outlived their copies";
       return out.str();
     }
   }
@@ -328,6 +394,54 @@ void Testbed::end_heartbeat_delay(NodeId node) {
   if (!datanode(node).alive()) return;
   if (detector_ != nullptr) detector_->resume_heartbeat(node);
   rm_->resume_heartbeat(node);
+}
+
+void Testbed::corrupt_block(NodeId node) {
+  const DataNode& dn = datanode(node);
+  std::vector<BlockId> candidates;
+  for (const BlockId block : dn.blocks_sorted()) {
+    if (!dn.is_corrupt(block)) candidates.push_back(block);
+  }
+  if (candidates.empty()) return;  // nothing stored, or all already rotten
+  corrupt_replica(node, candidates[static_cast<std::size_t>(rng_.uniform_int(
+                            0, static_cast<std::int64_t>(candidates.size()) -
+                                   1))]);
+}
+
+void Testbed::corrupt_cached_block(NodeId node) {
+  const BufferCache& cache = datanode(node).cache();
+  std::vector<BlockId> candidates;
+  for (const BlockId block : cache.blocks_sorted()) {
+    if (!cache.is_corrupt(block)) candidates.push_back(block);
+  }
+  if (candidates.empty()) return;  // empty pool: the fault lands on nothing
+  corrupt_cached_replica(
+      node, candidates[static_cast<std::size_t>(rng_.uniform_int(
+                0, static_cast<std::int64_t>(candidates.size()) - 1))]);
+}
+
+void Testbed::corrupt_replica(NodeId node, BlockId block) {
+  DataNode& dn = datanode(node);
+  IGNEM_CHECK_MSG(dn.has_block(block),
+                  "corrupt_replica: node " << node.value()
+                                           << " does not store the block");
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kFaultBlockCorrupt, node, block,
+                 JobId::invalid(), dn.block_size(block), 0);
+  }
+  dn.corrupt_block(block);
+}
+
+void Testbed::corrupt_cached_replica(NodeId node, BlockId block) {
+  DataNode& dn = datanode(node);
+  IGNEM_CHECK_MSG(dn.cache().contains(block),
+                  "corrupt_cached_replica: node "
+                      << node.value() << " has no locked copy of the block");
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kFaultBlockCorrupt, node, block,
+                 JobId::invalid(), namenode_->block(block).size, 1);
+  }
+  dn.corrupt_cached_copy(block);
 }
 
 JobRunner* Testbed::submit_job(JobSpec spec,

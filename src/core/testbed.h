@@ -27,6 +27,9 @@
 #include "dfs/replication_manager.h"
 #include "fault/failure_detector.h"
 #include "fault/fault_target.h"
+#include "integrity/integrity_config.h"
+#include "integrity/integrity_manager.h"
+#include "integrity/scrubber.h"
 #include "mapreduce/job_runner.h"
 #include "metrics/run_metrics.h"
 #include "net/network.h"
@@ -82,6 +85,11 @@ struct TestbedConfig {
   bool fault_tolerance = false;
   /// Detection timings, used when fault_tolerance is set.
   FailureDetectorConfig detector;
+  /// Data-integrity plane (checksummed reads, scrubbing, corrupt-replica
+  /// repair). Read-path verification is always wired but only acts on
+  /// injected corruption; the scrubber is opt-in because its periodic
+  /// verification reads change the event stream of a clean run.
+  IntegrityConfig integrity;
 };
 
 /// A job plus its arrival offset from workload start.
@@ -148,7 +156,16 @@ class Testbed : public FaultTarget {
   void end_network_degrade(NodeId node) override;
   void begin_heartbeat_delay(NodeId node) override;
   void end_heartbeat_delay(NodeId node) override;
+  void corrupt_block(NodeId node) override;
+  void corrupt_cached_block(NodeId node) override;
   std::size_t node_count() const override { return datanodes_.size(); }
+
+  /// Targeted corruption (the FaultTarget overloads pick a random block):
+  /// silently rots `node`'s stored replica / locked in-memory copy of
+  /// `block`, emitting kFaultBlockCorrupt. Nothing else happens until a
+  /// checksum pass (read, scrub, migration verify) touches the copy.
+  void corrupt_replica(NodeId node, BlockId block);
+  void corrupt_cached_replica(NodeId node, BlockId block);
 
   Simulator& sim() { return sim_; }
   RunMetrics& metrics() { return metrics_; }
@@ -163,6 +180,9 @@ class Testbed : public FaultTarget {
   ReplicationManager& replication_manager() { return *replication_manager_; }
   /// Null unless config.fault_tolerance was set.
   FailureDetector* failure_detector() { return detector_.get(); }
+  IntegrityManager& integrity_manager() { return *integrity_; }
+  /// Null unless config.integrity.enable_scrubber was set.
+  Scrubber* scrubber() { return scrubber_.get(); }
   const TestbedConfig& config() const { return config_; }
 
   /// Allocates a fresh JobId (monotonic; submission order == id order).
@@ -179,6 +199,13 @@ class Testbed : public FaultTarget {
   /// block map. Returns an empty string when they agree (or when the
   /// checker is off); otherwise a description of the first mismatch.
   std::string replica_model_mismatch() const;
+
+  /// End-of-run integrity bookkeeping cross-check: every detected stored
+  /// corruption was either invalidated or is still marked on a replica the
+  /// namespace knows, and no cached-copy corruption mark outlived its copy.
+  /// Assumes caches have drained (do not call in preload mode). Empty when
+  /// consistent.
+  std::string integrity_accounting_mismatch() const;
 
  private:
   void sample_memory();
@@ -202,6 +229,8 @@ class Testbed : public FaultTarget {
   std::unique_ptr<DfsClient> dfs_;
   std::unique_ptr<ReplicationManager> replication_manager_;
   std::unique_ptr<FailureDetector> detector_;
+  std::unique_ptr<IntegrityManager> integrity_;
+  std::unique_ptr<Scrubber> scrubber_;
 
   std::unique_ptr<IgnemMaster> master_;
   std::vector<std::unique_ptr<IgnemSlave>> slaves_;

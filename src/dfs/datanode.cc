@@ -1,5 +1,6 @@
 #include "dfs/datanode.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -42,6 +43,48 @@ Bytes DataNode::block_size(BlockId block) const {
   return it->second;
 }
 
+void DataNode::remove_block(BlockId block) {
+  blocks_.erase(block);
+  corrupt_.erase(block);
+  // A disk read of a deleted replica can no longer finish; a RAM read of a
+  // still-cached copy is unaffected.
+  abort_pending_reads(primary_.get(), block);
+}
+
+void DataNode::corrupt_block(BlockId block) {
+  IGNEM_CHECK_MSG(blocks_.contains(block), "corrupting block "
+                                               << block.value()
+                                               << " not stored on node "
+                                               << id_.value());
+  corrupt_.insert(block);
+}
+
+void DataNode::corrupt_cached_copy(BlockId block) {
+  cache_.mark_corrupt(block);
+}
+
+std::vector<BlockId> DataNode::blocks_sorted() const {
+  std::vector<BlockId> blocks;
+  blocks.reserve(blocks_.size());
+  for (const auto& [block, size] : blocks_) blocks.push_back(block);
+  std::sort(blocks.begin(), blocks.end());
+  return blocks;
+}
+
+BlockId DataNode::next_block_after(BlockId cursor) const {
+  BlockId best = BlockId::invalid();
+  for (const auto& [block, size] : blocks_) {
+    if (block.value() <= cursor.value()) continue;
+    if (!best.valid() || block.value() < best.value()) best = block;
+  }
+  return best;
+}
+
+void DataNode::report_corruption(BlockId block, bool cached,
+                                 CorruptionSource source) {
+  if (reporter_) reporter_(id_, block, cached, source);
+}
+
 void DataNode::read_block(BlockId block, JobId job, ReadCallback on_complete) {
   const Bytes size = block_size(block);
   const bool from_memory = alive_ && cache_.contains(block);
@@ -63,21 +106,63 @@ void DataNode::read_block(BlockId block, JobId job, ReadCallback on_complete) {
   const SimTime start = sim_.now();
   const std::uint64_t id = next_read_++;
   const TransferHandle handle =
-      device.read(size, [this, id, block, job, start, from_memory] {
+      device.read(size, [this, id, block, job, size, start, from_memory] {
         const auto it = pending_reads_.find(id);
         IGNEM_CHECK(it != pending_reads_.end());
         ReadCallback cb = std::move(it->second.callback);
         pending_reads_.erase(it);
+        // The checksum pass over the transferred data (the verification
+        // device.cc charges no extra time for). Judged at completion so rot
+        // injected mid-read is caught too.
+        const bool corrupt =
+            from_memory ? cache_.is_corrupt(block) : corrupt_.contains(block);
+        if (corrupt) {
+          if (trace_ != nullptr) {
+            trace_->emit(TraceEventType::kBlockReadCorrupt, id_, block, job,
+                         size, from_memory ? 1 : 0);
+          }
+          report_corruption(block, from_memory, CorruptionSource::kRead);
+          cb(BlockReadResult{sim_.now() - start, from_memory, false, true});
+          return;
+        }
         const BlockReadResult result{sim_.now() - start, from_memory, false};
         if (trace_ != nullptr) {
-          trace_->emit(TraceEventType::kBlockReadEnd, id_, block, job,
-                       block_size(block), from_memory ? 1 : 0);
+          trace_->emit(TraceEventType::kBlockReadEnd, id_, block, job, size,
+                       from_memory ? 1 : 0);
         }
         if (listener_ != nullptr) listener_->on_block_read(id_, block, job);
         cb(result);
       });
-  pending_reads_.emplace(id,
-                         PendingRead{&device, handle, std::move(on_complete)});
+  pending_reads_.emplace(
+      id, PendingRead{&device, handle, block, std::move(on_complete)});
+}
+
+void DataNode::verify_block(BlockId block, ReadCallback on_complete) {
+  const Bytes size = block_size(block);
+  if (!disk_ok()) {
+    sim_.schedule(Duration::zero(), [cb = std::move(on_complete)] {
+      cb(BlockReadResult{Duration::zero(), false, true});
+    });
+    return;
+  }
+  const SimTime start = sim_.now();
+  const std::uint64_t id = next_read_++;
+  const TransferHandle handle = primary_->read(size, [this, id, block, size,
+                                                      start] {
+    const auto it = pending_reads_.find(id);
+    IGNEM_CHECK(it != pending_reads_.end());
+    ReadCallback cb = std::move(it->second.callback);
+    pending_reads_.erase(it);
+    const bool corrupt = corrupt_.contains(block);
+    if (trace_ != nullptr) {
+      trace_->emit(TraceEventType::kScrub, id_, block, JobId::invalid(), size,
+                   corrupt ? 1 : 0);
+    }
+    if (corrupt) report_corruption(block, false, CorruptionSource::kScrub);
+    cb(BlockReadResult{sim_.now() - start, false, false, corrupt});
+  });
+  pending_reads_.emplace(
+      id, PendingRead{primary_.get(), handle, block, std::move(on_complete)});
 }
 
 void DataNode::write(Bytes bytes, std::function<void()> on_complete) {
@@ -88,11 +173,13 @@ void DataNode::write(Bytes bytes, std::function<void()> on_complete) {
   primary_->write(bytes, std::move(on_complete));
 }
 
-void DataNode::abort_pending_reads(const StorageDevice* device) {
+void DataNode::abort_pending_reads(const StorageDevice* device,
+                                   BlockId block) {
   // Detach first: a fired callback may start a new read on this node.
   std::map<std::uint64_t, PendingRead> failing;
   for (auto it = pending_reads_.begin(); it != pending_reads_.end();) {
-    if (device == nullptr || it->second.device == device) {
+    if ((device == nullptr || it->second.device == device) &&
+        (!block.valid() || it->second.block == block)) {
       failing.insert(pending_reads_.extract(it++));
     } else {
       ++it;

@@ -12,6 +12,7 @@
 #include <map>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/ids.h"
@@ -36,11 +37,23 @@ struct BlockReadResult {
   Duration duration;
   bool from_memory = false;
   bool failed = false;  ///< The node (or its disk) died before the read ended.
+  bool corrupt = false;  ///< The read finished but the checksum pass failed.
+};
+
+/// Which verification pass noticed a corrupt copy (kCorruptionDetected
+/// detail values).
+enum class CorruptionSource : std::int64_t {
+  kRead = 0,       ///< a foreground block read's checksum pass
+  kScrub = 1,      ///< the background scrubber
+  kMigration = 2,  ///< the Ignem slave verifying a paged-in migration source
 };
 
 class DataNode {
  public:
   using ReadCallback = std::function<void(const BlockReadResult&)>;
+  /// (node, block, cached copy?, which pass found it).
+  using CorruptionReporter =
+      std::function<void(NodeId, BlockId, bool, CorruptionSource)>;
 
   DataNode(Simulator& sim, NodeId id, DeviceProfile primary_profile,
            Bytes cache_capacity, Rng rng);
@@ -57,12 +70,37 @@ class DataNode {
   bool has_block(BlockId block) const { return blocks_.contains(block); }
   Bytes block_size(BlockId block) const;
 
+  /// Drops an invalidated replica from the node (NameNode decided the copy
+  /// is garbage). In-flight disk reads of the block are aborted with
+  /// `failed = true`; a cached copy, if any, is untouched.
+  void remove_block(BlockId block);
+
+  /// Silent bit-rot: the stored replica's data is now bad, but nothing
+  /// notices until a checksum pass (read, scrub, migration verify) runs.
+  /// The mark survives process restarts — rot lives on the platter.
+  void corrupt_block(BlockId block);
+  bool is_corrupt(BlockId block) const { return corrupt_.contains(block); }
+  /// Corrupts the locked in-memory copy instead (the disk replica stays
+  /// good). Delegates to BufferCache, so eviction discards the mark.
+  void corrupt_cached_copy(BlockId block);
+
+  /// Stored block ids in ascending order, and the smallest id strictly
+  /// greater than `cursor` (invalid when none) — the scrubber's
+  /// deterministic scan order over the unordered block map.
+  std::vector<BlockId> blocks_sorted() const;
+  BlockId next_block_after(BlockId cursor) const;
+
   /// Reads a block for `job`; serves from the locked pool at RAM speed when
   /// present, otherwise from the primary device. Fires the listener after
   /// the read completes, then the callback. On a dead node or fail-stopped
   /// disk the callback fires asynchronously with `failed = true` (no
   /// kBlockReadStart is emitted) so the client can retry another replica.
   void read_block(BlockId block, JobId job, ReadCallback on_complete);
+
+  /// Scrubber entry point: pays a full checksum read of the stored replica
+  /// through the primary device, emits kScrub, and reports corruption like
+  /// the read path does. The callback's `corrupt` flag carries the verdict.
+  void verify_block(BlockId block, ReadCallback on_complete);
 
   /// Writes `bytes` of job output through the primary device. On a dead
   /// node or failed disk the write is lost but completes immediately, so
@@ -89,14 +127,23 @@ class DataNode {
 
   void set_read_listener(BlockReadListener* listener) { listener_ = listener; }
 
+  /// Wires the node into the integrity plane; called whenever a checksum
+  /// pass trips over a corrupt copy.
+  void set_corruption_reporter(CorruptionReporter reporter) {
+    reporter_ = std::move(reporter);
+  }
+  void report_corruption(BlockId block, bool cached, CorruptionSource source);
+
   /// Emits kReplicaAdd, kBlockReadStart/End, and kCacheHit/Miss; also wires
   /// the node's devices and locked pool into the same recorder.
   void set_trace(TraceRecorder* trace);
 
  private:
-  /// Aborts in-flight reads (all of them, or only those on `device`) and
-  /// fires their callbacks with `failed = true` on the next sim step.
-  void abort_pending_reads(const StorageDevice* device);
+  /// Aborts in-flight reads (all of them, or only those on `device`, or
+  /// only those of `block` when it is valid) and fires their callbacks with
+  /// `failed = true` on the next sim step.
+  void abort_pending_reads(const StorageDevice* device,
+                           BlockId block = BlockId::invalid());
 
   Simulator& sim_;
   TraceRecorder* trace_ = nullptr;
@@ -105,13 +152,16 @@ class DataNode {
   std::unique_ptr<StorageDevice> ram_;
   BufferCache cache_;
   std::unordered_map<BlockId, Bytes> blocks_;
+  std::unordered_set<BlockId> corrupt_;  // stored replicas with silent rot
   bool alive_ = true;
   bool disk_failed_ = false;
   BlockReadListener* listener_ = nullptr;
+  CorruptionReporter reporter_;
 
   struct PendingRead {
     StorageDevice* device;
     TransferHandle handle;
+    BlockId block;
     ReadCallback callback;
   };
   std::map<std::uint64_t, PendingRead> pending_reads_;  // ordered: determinism

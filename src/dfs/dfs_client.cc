@@ -57,12 +57,32 @@ void DfsClient::read_block(NodeId reader, BlockId block, JobId job,
   attempt_read(reader, block, job, sim_.now(), std::move(on_complete));
 }
 
+void DfsClient::fail_read(NodeId reader, BlockId block, JobId job,
+                          SimTime start, const ReadCallback& on_complete) {
+  BlockReadRecord record;
+  record.block = block;
+  record.job = job;
+  record.reader = reader;
+  record.bytes = namenode_.block(block).size;
+  record.start = start;
+  record.duration = sim_.now() - start;
+  record.failed = true;
+  if (metrics_ != nullptr) metrics_->add_block_read(record);
+  on_complete(record);
+}
+
 void DfsClient::attempt_read(NodeId reader, BlockId block, JobId job,
                              SimTime start, ReadCallback on_complete) {
   const NodeId source = choose_replica(reader, block);
   if (!source.valid()) {
-    // Every replica is on a crashed node or failed disk. Wait for recovery
-    // or re-replication to restore one, then try again.
+    // Every replica is on a crashed node, a failed disk, or marked corrupt.
+    // Wait for recovery or re-replication to restore one, then try again —
+    // but not past the deadline: a permanently unreadable block must
+    // surface a terminal error, not retry forever.
+    if (sim_.now() - start >= read_deadline_) {
+      fail_read(reader, block, job, start, on_complete);
+      return;
+    }
     sim_.schedule(kReadRetryDelay,
                   [this, reader, block, job, start,
                    cb = std::move(on_complete)]() mutable {
@@ -79,7 +99,12 @@ void DfsClient::attempt_read(NodeId reader, BlockId block, JobId job,
       [this, reader, source, block, job, bytes, start, remote,
        cb = std::move(on_complete)](const BlockReadResult& local) {
         if (local.failed) {
-          // The source died mid-read; back off and pick another replica.
+          // The source died mid-read; back off and pick another replica
+          // (the deadline check happens on the re-attempt).
+          if (sim_.now() - start >= read_deadline_) {
+            fail_read(reader, block, job, start, cb);
+            return;
+          }
           sim_.schedule(kReadRetryDelay,
                         [this, reader, block, job, start, cb]() mutable {
                           attempt_read(reader, block, job, start,
@@ -87,12 +112,33 @@ void DfsClient::attempt_read(NodeId reader, BlockId block, JobId job,
                         });
           return;
         }
-        auto finish = [this, reader, block, job, bytes, start, remote,
+        if (local.corrupt) {
+          // Checksum failure: the replica was just reported and excluded
+          // from live_locations, so fail over to another copy right away.
+          // If the exclusion did not take (no integrity plane wired), back
+          // off instead so the retry loop advances sim time toward the
+          // deadline rather than spinning.
+          if (sim_.now() - start >= read_deadline_) {
+            fail_read(reader, block, job, start, cb);
+            return;
+          }
+          const Duration delay = choose_replica(reader, block) == source
+                                     ? kReadRetryDelay
+                                     : Duration::zero();
+          sim_.schedule(delay,
+                        [this, reader, block, job, start, cb]() mutable {
+                          attempt_read(reader, block, job, start,
+                                       std::move(cb));
+                        });
+          return;
+        }
+        auto finish = [this, reader, source, block, job, bytes, start, remote,
                        from_memory = local.from_memory, cb]() {
           BlockReadRecord record;
           record.block = block;
           record.job = job;
           record.reader = reader;
+          record.source = source;
           record.bytes = bytes;
           record.start = start;
           record.duration = sim_.now() - start;

@@ -31,14 +31,23 @@ class DfsClient {
   /// RAM read beats a local contended-disk read on a 10 Gbps network.
   ///
   /// Crash tolerance: replicas on crashed nodes or failed disks are skipped,
-  /// and a read that dies mid-flight (source crashed) retries another
-  /// replica after `kReadRetryDelay`. When no replica is reachable the
-  /// client keeps retrying until recovery or re-replication restores one;
-  /// the completion record's duration covers the whole wait.
+  /// a read that dies mid-flight (source crashed) retries another replica
+  /// after `kReadRetryDelay`, and a read that fails its checksum pass
+  /// (corrupt replica, now reported and excluded) retries immediately. When
+  /// no replica is reachable the client keeps retrying until recovery or
+  /// re-replication restores one — up to the read deadline, after which the
+  /// completion record carries `failed = true` (terminal error; the job
+  /// runner fails the task instead of the sim hanging forever). The record's
+  /// duration covers the whole wait.
   void read_block(NodeId reader, BlockId block, JobId job,
                   ReadCallback on_complete);
 
   static constexpr Duration kReadRetryDelay = Duration::millis(500);
+
+  /// Total time budget per read_block call across all retries
+  /// (IntegrityConfig::read_deadline plumbs the knob).
+  void set_read_deadline(Duration deadline) { read_deadline_ = deadline; }
+  Duration read_deadline() const { return read_deadline_; }
 
   /// Replica locations for scheduling, ordered so nodes holding a
   /// memory-resident copy come first.
@@ -58,16 +67,21 @@ class DfsClient {
   /// Picks the replica to read from; invalid() when none is reachable.
   NodeId choose_replica(NodeId reader, BlockId block) const;
 
-  /// One read attempt; re-schedules itself on failure. `start` is the time
-  /// of the original request, preserved across retries.
+  /// One read attempt; re-schedules itself on failure until the deadline.
+  /// `start` is the time of the original request, preserved across retries.
   void attempt_read(NodeId reader, BlockId block, JobId job, SimTime start,
                     ReadCallback on_complete);
+
+  /// Delivers the terminal-failure record (deadline exhausted).
+  void fail_read(NodeId reader, BlockId block, JobId job, SimTime start,
+                 const ReadCallback& on_complete);
 
   Simulator& sim_;
   NameNode& namenode_;
   Network& network_;
   RunMetrics* metrics_;
   MigrationService* service_ = nullptr;
+  Duration read_deadline_ = Duration::seconds(600);
 };
 
 }  // namespace ignem

@@ -143,10 +143,62 @@ const BlockInfo& NameNode::block(BlockId id) const {
 
 std::vector<NodeId> NameNode::live_locations(BlockId id) const {
   std::vector<NodeId> out;
+  const auto corrupt = corrupt_.find(id);
   for (const NodeId node : block(id).replicas) {
-    if (!dead_nodes_.contains(node)) out.push_back(node);
+    if (dead_nodes_.contains(node)) continue;
+    if (corrupt != corrupt_.end() && corrupt->second.contains(node)) continue;
+    out.push_back(node);
   }
   return out;
+}
+
+void NameNode::mark_replica_corrupt(BlockId block, NodeId node) {
+  const auto& replicas = this->block(block).replicas;
+  IGNEM_CHECK_MSG(
+      std::find(replicas.begin(), replicas.end(), node) != replicas.end(),
+      "marking corrupt a replica node " << node.value()
+                                        << " does not hold of block "
+                                        << block.value());
+  corrupt_[block].insert(node);
+}
+
+bool NameNode::is_replica_corrupt(BlockId block, NodeId node) const {
+  const auto it = corrupt_.find(block);
+  return it != corrupt_.end() && it->second.contains(node);
+}
+
+std::vector<NodeId> NameNode::corrupt_replicas(BlockId block) const {
+  const auto it = corrupt_.find(block);
+  if (it == corrupt_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::size_t NameNode::corrupt_replica_count() const {
+  std::size_t count = 0;
+  for (const auto& [block, nodes] : corrupt_) count += nodes.size();
+  return count;
+}
+
+void NameNode::invalidate_replica(BlockId block, NodeId node) {
+  const auto it = blocks_.find(block);
+  IGNEM_CHECK_MSG(it != blocks_.end(), "unknown block " << block.value());
+  auto& replicas = it->second.replicas;
+  const auto pos = std::find(replicas.begin(), replicas.end(), node);
+  IGNEM_CHECK_MSG(pos != replicas.end(), "invalidating a replica node "
+                                             << node.value()
+                                             << " does not hold of block "
+                                             << block.value());
+  replicas.erase(pos);
+  const auto marks = corrupt_.find(block);
+  if (marks != corrupt_.end()) {
+    marks->second.erase(node);
+    if (marks->second.empty()) corrupt_.erase(marks);
+  }
+  datanode(node)->remove_block(block);
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kReplicaInvalidate, node, block,
+                 JobId::invalid(), it->second.size);
+  }
 }
 
 DataNode* NameNode::datanode(NodeId id) const {

@@ -6,6 +6,8 @@
 // the same maps through this class's const API.
 #pragma once
 
+#include <map>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -53,8 +55,22 @@ class NameNode {
   const BlockInfo& block(BlockId id) const;
 
   /// Replica locations filtered to live nodes (paper §III-A5: dead servers
-  /// leave the namespace map).
+  /// leave the namespace map) and to copies not marked corrupt — a replica
+  /// that failed a checksum pass is never handed to a reader again.
   std::vector<NodeId> live_locations(BlockId id) const;
+
+  /// Corrupt-replica tracking (HDFS corruptReplicas analogue). A mark keeps
+  /// the replica in the namespace — so the repair pipeline can see it — but
+  /// out of live_locations; invalidation deletes it outright.
+  void mark_replica_corrupt(BlockId block, NodeId node);
+  bool is_replica_corrupt(BlockId block, NodeId node) const;
+  std::vector<NodeId> corrupt_replicas(BlockId block) const;
+  std::size_t corrupt_replica_count() const;
+
+  /// Deletes a replica from the namespace and its DataNode (corrupt copy
+  /// superseded by a verified one, or garbage-collected as unrecoverable).
+  /// Emits kReplicaInvalidate.
+  void invalidate_replica(BlockId block, NodeId node);
 
   DataNode* datanode(NodeId id) const;
   std::vector<NodeId> live_nodes() const;
@@ -119,6 +135,8 @@ class NameNode {
   std::unordered_map<FileId, FileInfo> files_;
   std::unordered_map<std::string, FileId> paths_;
   std::unordered_map<BlockId, BlockInfo> blocks_;
+  // Ordered so repair iterates corrupt replicas deterministically.
+  std::map<BlockId, std::set<NodeId>> corrupt_;
   std::int64_t next_file_ = 0;
   std::int64_t next_block_ = 0;
 };

@@ -36,6 +36,16 @@ void ReplicationManager::handle_node_failure(NodeId node,
   pump();
 }
 
+void ReplicationManager::handle_corrupt_replica(BlockId block,
+                                                int target_replication) {
+  target_replication_ = target_replication;
+  if (queued_.contains(block)) return;
+  queue_.push_back(block);
+  queued_.insert(block);
+  ++stats_.blocks_scheduled;
+  pump();
+}
+
 void ReplicationManager::pump() {
   while (in_flight_ < max_concurrent_ && !queue_.empty()) {
     const BlockId block = queue_.front();
@@ -55,9 +65,12 @@ void ReplicationManager::retry_later(BlockId block) {
 
 void ReplicationManager::repair(BlockId block) {
   // Re-check first: a node rejoin or an earlier repair may have restored
-  // the factor while this block sat in the queue.
-  const auto live = namenode_.live_locations(block);
-  if (live.size() >= static_cast<std::size_t>(target_replication_)) {
+  // the factor while this block sat in the queue. Outstanding corrupt marks
+  // keep the block in repair regardless — they must be invalidated.
+  const std::vector<NodeId> corrupt = namenode_.corrupt_replicas(block);
+  auto live = namenode_.live_locations(block);
+  if (corrupt.empty() &&
+      live.size() >= static_cast<std::size_t>(target_replication_)) {
     queued_.erase(block);
     pump();
     return;
@@ -73,18 +86,38 @@ void ReplicationManager::repair(BlockId block) {
     sources.push_back(node);
   }
   if (sources.empty()) {
-    // Every replica is gone: data loss, nothing to copy from.
+    // Every replica is gone or corrupt: data loss, nothing verified to copy
+    // from. Corrupt marks stay — serving known-bad data is worse than
+    // failing the read.
     ++stats_.blocks_unrepairable;
     queued_.erase(block);
     pump();
     return;
   }
-  // Target: a live, working node that does not already hold the block,
-  // chosen uniformly for load spreading. All namespace-live holders are in
-  // `live`, so excluding it also excludes every possible duplicate.
+  if (!corrupt.empty()) {
+    // A verified good copy exists, so the corrupt replicas are garbage:
+    // delete them now (HDFS invalidates corrupt replicas once a healthy one
+    // is known), freeing their nodes to serve as repair targets.
+    for (const NodeId node : corrupt) {
+      namenode_.invalidate_replica(block, node);
+      ++stats_.corrupt_invalidated;
+    }
+    live = namenode_.live_locations(block);
+    if (live.size() >= static_cast<std::size_t>(target_replication_)) {
+      queued_.erase(block);
+      pump();
+      return;
+    }
+  }
+  // Target: a live, working node that holds no replica of the block —
+  // including dead and corrupt-marked holders, which are absent from `live`
+  // but still in the namespace — chosen uniformly for load spreading.
+  const auto& replicas = namenode_.block(block).replicas;
   std::vector<NodeId> candidates;
   for (const NodeId node : namenode_.live_nodes()) {
-    if (std::find(live.begin(), live.end(), node) != live.end()) continue;
+    if (std::find(replicas.begin(), replicas.end(), node) != replicas.end()) {
+      continue;
+    }
     const DataNode* dn = namenode_.datanode(node);
     if (!dn->alive() || !dn->disk_ok()) continue;
     candidates.push_back(node);
@@ -110,7 +143,10 @@ void ReplicationManager::repair(BlockId block) {
   namenode_.datanode(source)->read_block(
       block, JobId::invalid(),
       [this, block, source, target, bytes](const BlockReadResult& read) {
-        if (read.failed) {  // source crashed mid-read
+        if (read.failed || read.corrupt) {
+          // Source crashed mid-read, or its checksum pass just exposed
+          // latent rot (the report already marked it, so the next attempt
+          // picks a different source).
           retry_later(block);
           return;
         }
@@ -128,7 +164,14 @@ void ReplicationManager::repair(BlockId block) {
             }
             namenode_.add_replica(block, target);
             ++stats_.blocks_repaired;
-            queued_.erase(block);
+            if (namenode_.live_locations(block).size() <
+                static_cast<std::size_t>(target_replication_)) {
+              // Still short (several replicas were lost or invalidated):
+              // keep the block in repair for another round.
+              queue_.push_back(block);
+            } else {
+              queued_.erase(block);
+            }
             --in_flight_;
             if (trace_ != nullptr) {
               trace_->emit(TraceEventType::kRepairComplete, target, block,

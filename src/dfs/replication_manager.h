@@ -23,7 +23,8 @@ namespace ignem {
 struct ReplicationStats {
   std::uint64_t blocks_scheduled = 0;
   std::uint64_t blocks_repaired = 0;
-  std::uint64_t blocks_unrepairable = 0;  ///< No live source or target.
+  std::uint64_t blocks_unrepairable = 0;   ///< No live source or target.
+  std::uint64_t corrupt_invalidated = 0;   ///< Corrupt replicas deleted.
 };
 
 class ReplicationManager {
@@ -42,6 +43,13 @@ class ReplicationManager {
   /// or target dies mid-copy is retried on a fresh pair after a short
   /// backoff.
   void handle_node_failure(NodeId node, int target_replication);
+
+  /// Queues repair for a block with a corrupt-marked replica. The corrupt
+  /// copies are invalidated only once a verified live source exists (never
+  /// delete the last copy, however bad); with no good copy anywhere the
+  /// block counts as unrepairable and the marks stay, so readers keep
+  /// failing rather than silently consuming rot.
+  void handle_corrupt_replica(BlockId block, int target_replication);
 
   const ReplicationStats& stats() const { return stats_; }
   std::size_t pending() const { return queue_.size(); }

@@ -21,7 +21,10 @@ void FaultInjector::arm() {
                 (spec.node.valid() && static_cast<std::size_t>(
                                           spec.node.value()) < depth_.size()));
     sim_.schedule(spec.at, [this, spec] { begin(spec); });
-    if (spec.kind != FaultKind::kSlaveCrash) {
+    const bool point_fault = spec.kind == FaultKind::kSlaveCrash ||
+                             spec.kind == FaultKind::kBlockCorrupt ||
+                             spec.kind == FaultKind::kCacheCorrupt;
+    if (!point_fault) {
       sim_.schedule(spec.at + spec.duration, [this, spec] { end(spec); });
     }
   }
@@ -58,6 +61,12 @@ void FaultInjector::begin(const FaultSpec& spec) {
     case FaultKind::kHeartbeatDelay:
       if (d.heartbeat++ == 0) target_.begin_heartbeat_delay(spec.node);
       break;
+    case FaultKind::kBlockCorrupt:
+      target_.corrupt_block(spec.node);
+      break;
+    case FaultKind::kCacheCorrupt:
+      target_.corrupt_cached_block(spec.node);
+      break;
   }
 }
 
@@ -86,6 +95,9 @@ void FaultInjector::end(const FaultSpec& spec) {
     case FaultKind::kHeartbeatDelay:
       if (--d.heartbeat == 0) target_.end_heartbeat_delay(spec.node);
       break;
+    case FaultKind::kBlockCorrupt:
+    case FaultKind::kCacheCorrupt:
+      break;  // point faults, no end event scheduled
   }
 }
 

@@ -16,28 +16,34 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kDiskFailSlow: return "disk_fail_slow";
     case FaultKind::kNetworkDegrade: return "network_degrade";
     case FaultKind::kHeartbeatDelay: return "heartbeat_delay";
+    case FaultKind::kBlockCorrupt: return "block_corrupt";
+    case FaultKind::kCacheCorrupt: return "cache_corrupt";
   }
   return "?";
 }
 
 FaultPlan FaultPlan::random(Rng& rng, std::size_t node_count,
                             std::size_t fault_count, Duration horizon,
-                            Duration min_outage, Duration max_outage) {
+                            Duration min_outage, Duration max_outage,
+                            std::uint32_t kinds) {
   IGNEM_CHECK(node_count > 0);
   IGNEM_CHECK(horizon > Duration::zero());
   IGNEM_CHECK(Duration::zero() < min_outage && min_outage <= max_outage);
-  static constexpr FaultKind kKinds[] = {
-      FaultKind::kNodeCrash,      FaultKind::kMasterCrash,
-      FaultKind::kSlaveCrash,     FaultKind::kDiskFailStop,
-      FaultKind::kDiskFailSlow,   FaultKind::kNetworkDegrade,
-      FaultKind::kHeartbeatDelay,
-  };
+  IGNEM_CHECK_MSG((kinds & kAllFaultKinds) != 0, "empty fault-kind mask");
+  // Eligible kinds in enum order; with the default mask this is exactly the
+  // pre-mask kind table, so the uniform_int draws below are unchanged.
+  std::vector<FaultKind> eligible;
+  for (std::uint32_t bit = 0; fault_kind_bit(FaultKind(bit)) <= kAllFaultKinds;
+       ++bit) {
+    const FaultKind kind = static_cast<FaultKind>(bit);
+    if ((kinds & fault_kind_bit(kind)) != 0) eligible.push_back(kind);
+  }
   FaultPlan plan;
   plan.faults.reserve(fault_count);
   for (std::size_t i = 0; i < fault_count; ++i) {
     FaultSpec spec;
-    spec.kind = kKinds[static_cast<std::size_t>(
-        rng.uniform_int(0, static_cast<std::int64_t>(std::size(kKinds)) - 1))];
+    spec.kind = eligible[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(eligible.size()) - 1))];
     spec.at = Duration::micros(
         rng.uniform_int(0, horizon.count_micros() - 1));
     spec.duration = Duration::micros(rng.uniform_int(

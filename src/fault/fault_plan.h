@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -24,9 +25,35 @@ enum class FaultKind {
   kDiskFailSlow,    ///< Primary device slowed by `severity` for `duration`.
   kNetworkDegrade,  ///< NIC contended by `severity` for `duration`.
   kHeartbeatDelay,  ///< Heartbeats silenced for `duration` (processes live).
+  kBlockCorrupt,    ///< Silent bit-rot on one stored replica of `node`
+                    ///< (point fault; no recovery event, `duration` ignored).
+  kCacheCorrupt,    ///< Silent corruption of one cached (locked-memory) copy
+                    ///< on `node` (point fault, `duration` ignored).
 };
 
 const char* fault_kind_name(FaultKind kind);
+
+/// Bit for `kind` in an eligible-kinds mask.
+constexpr std::uint32_t fault_kind_bit(FaultKind kind) {
+  return std::uint32_t{1} << static_cast<std::uint32_t>(kind);
+}
+
+/// The seven pre-integrity "loud" fault kinds. The default for
+/// FaultPlan::random, so plans generated before the corruption kinds existed
+/// stay byte-identical.
+inline constexpr std::uint32_t kLoudFaultKinds =
+    fault_kind_bit(FaultKind::kNodeCrash) |
+    fault_kind_bit(FaultKind::kMasterCrash) |
+    fault_kind_bit(FaultKind::kSlaveCrash) |
+    fault_kind_bit(FaultKind::kDiskFailStop) |
+    fault_kind_bit(FaultKind::kDiskFailSlow) |
+    fault_kind_bit(FaultKind::kNetworkDegrade) |
+    fault_kind_bit(FaultKind::kHeartbeatDelay);
+
+/// Every kind, including the silent corruption faults.
+inline constexpr std::uint32_t kAllFaultKinds =
+    kLoudFaultKinds | fault_kind_bit(FaultKind::kBlockCorrupt) |
+    fault_kind_bit(FaultKind::kCacheCorrupt);
 
 struct FaultSpec {
   FaultKind kind = FaultKind::kNodeCrash;
@@ -39,12 +66,15 @@ struct FaultSpec {
 struct FaultPlan {
   std::vector<FaultSpec> faults;
 
-  /// A random plan of `fault_count` faults over [0, horizon), every fault
-  /// kind eligible, uniform nodes, outages uniform in [min_outage,
-  /// max_outage]. Pure function of the Rng state: same seed, same plan.
+  /// A random plan of `fault_count` faults over [0, horizon), fault kinds
+  /// drawn uniformly from the `kinds` mask (enum order), uniform nodes,
+  /// outages uniform in [min_outage, max_outage]. Pure function of the Rng
+  /// state: same seed + same mask, same plan. The default mask reproduces
+  /// the pre-corruption plans byte-for-byte.
   static FaultPlan random(Rng& rng, std::size_t node_count,
                           std::size_t fault_count, Duration horizon,
-                          Duration min_outage, Duration max_outage);
+                          Duration min_outage, Duration max_outage,
+                          std::uint32_t kinds = kLoudFaultKinds);
 
   std::string to_string() const;  ///< One fault per line (diagnostics).
 };

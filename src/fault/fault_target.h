@@ -50,6 +50,12 @@ class FaultTarget {
   virtual void begin_heartbeat_delay(NodeId node) = 0;
   virtual void end_heartbeat_delay(NodeId node) = 0;
 
+  /// Silent bit-rot on one stored replica of the node's choice (point
+  /// fault): nothing observable happens until a checksum pass reads it.
+  virtual void corrupt_block(NodeId node) = 0;
+  /// Silent corruption of one cached (locked-memory) copy on the node.
+  virtual void corrupt_cached_block(NodeId node) = 0;
+
   virtual std::size_t node_count() const = 0;
 };
 

@@ -1,0 +1,43 @@
+#include "integrity/scrubber.h"
+
+#include "common/check.h"
+#include "dfs/datanode.h"
+
+namespace ignem {
+
+Scrubber::Scrubber(Simulator& sim, NameNode& namenode, IntegrityConfig config)
+    : namenode_(namenode) {
+  IGNEM_CHECK(config.scrub_interval > Duration::zero());
+  const std::size_t n = namenode_.node_count();
+  cursors_.assign(n, BlockId::invalid());
+  tasks_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Duration offset =
+        config.scrub_interval * (static_cast<double>(i + 1) /
+                                 static_cast<double>(n));
+    tasks_.push_back(std::make_unique<PeriodicTask>(
+        sim, offset, config.scrub_interval, [this, i] { tick(i); }));
+  }
+}
+
+void Scrubber::stop() {
+  for (auto& task : tasks_) task->stop();
+}
+
+void Scrubber::tick(std::size_t index) {
+  DataNode* dn = namenode_.datanode(NodeId(static_cast<std::int64_t>(index)));
+  if (!dn->alive() || !dn->disk_ok()) return;  // nothing to verify against
+  BlockId next = dn->next_block_after(cursors_[index]);
+  if (!next.valid()) {
+    // Wrapped: restart from the smallest id (invalid() compares below all).
+    next = dn->next_block_after(BlockId::invalid());
+  }
+  if (!next.valid()) return;  // node holds no blocks
+  cursors_[index] = next;
+  ++stats_.blocks_scanned;
+  dn->verify_block(next, [this](const BlockReadResult& result) {
+    if (result.corrupt) ++stats_.corrupt_found;
+  });
+}
+
+}  // namespace ignem

@@ -91,6 +91,17 @@ void JobRunner::launch_map(std::size_t index, const ContainerGrant& grant) {
         node, task.block, id_,
         [this, index, grant, node, start, epoch](const BlockReadRecord& read) {
           if (epoch != map_epoch_[index]) return;
+          if (read.failed) {
+            // Terminal read error: the input is unreadable everywhere (all
+            // replicas lost or corrupt) and the deadline ran out. Fail the
+            // job but keep its lifecycle moving — the container goes back,
+            // the barrier advances, and complete() still runs so the sim
+            // never hangs on lost data.
+            failed_ = true;
+            rm_.release_container(grant);
+            on_map_done();
+            return;
+          }
           const MapTask& task = maps_[index];
           const double mib_in =
               static_cast<double>(task.bytes) / static_cast<double>(kMiB);
@@ -125,6 +136,12 @@ void JobRunner::on_map_done() {
 }
 
 void JobRunner::start_reduce_stage() {
+  if (failed_) {
+    // Map input was lost; the map outputs never materialized, so there is
+    // nothing to shuffle. Tear the job down as failed.
+    finish_job();
+    return;
+  }
   if (reduce_count_ <= 0 || shuffle_bytes_ <= 0) {
     finish_job();
     return;
@@ -240,6 +257,7 @@ void JobRunner::complete() {
       first_task_start_ == SimTime::max() ? submit_time_ : first_task_start_;
   record.end = sim_.now();
   record.duration = record.end - record.submit;
+  record.failed = failed_;
   if (metrics_ != nullptr) metrics_->add_job(record);
   on_complete_(record);
 }

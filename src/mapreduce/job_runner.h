@@ -38,6 +38,7 @@ class JobRunner {
   JobId id() const { return id_; }
   const JobSpec& spec() const { return spec_; }
   bool finished() const { return finished_; }
+  bool failed() const { return failed_; }
   Bytes input_bytes() const { return input_bytes_; }
 
  private:
@@ -83,6 +84,7 @@ class JobRunner {
   std::size_t reduces_done_ = 0;
   int reduce_count_ = 0;
   bool finished_ = false;
+  bool failed_ = false;  ///< A map task's input became permanently unreadable.
   std::int64_t next_task_ = 0;
 };
 

@@ -20,7 +20,9 @@ Samples RunMetrics::task_durations_seconds(TaskKind kind) const {
 Samples RunMetrics::block_read_seconds() const {
   Samples s;
   s.reserve(block_reads_.size());
-  for (const auto& r : block_reads_) s.add(r.duration.to_seconds());
+  for (const auto& r : block_reads_) {
+    if (!r.failed) s.add(r.duration.to_seconds());
+  }
   return s;
 }
 
@@ -37,12 +39,15 @@ double RunMetrics::mean_block_read_seconds() const {
 }
 
 double RunMetrics::memory_read_fraction() const {
-  if (block_reads_.empty()) return 0.0;
   std::size_t hits = 0;
+  std::size_t completed = 0;
   for (const auto& r : block_reads_) {
+    if (r.failed) continue;
+    ++completed;
     if (r.from_memory) ++hits;
   }
-  return static_cast<double>(hits) / static_cast<double>(block_reads_.size());
+  if (completed == 0) return 0.0;
+  return static_cast<double>(hits) / static_cast<double>(completed);
 }
 
 void RunMetrics::clear() {

@@ -20,11 +20,13 @@ struct BlockReadRecord {
   BlockId block;
   JobId job;
   NodeId reader;
+  NodeId source;             ///< Replica that served the read (invalid if failed).
   Bytes bytes = 0;
   SimTime start;
   Duration duration;
   bool from_memory = false;  ///< Served from the locked buffer-cache pool.
   bool remote = false;       ///< Read over the network from another node.
+  bool failed = false;       ///< Terminal error: retry deadline exhausted.
 };
 
 enum class TaskKind { kMap, kReduce };
@@ -50,6 +52,7 @@ struct JobRecord {
   SimTime first_task_start;
   SimTime end;
   Duration duration;  ///< end - submit (includes queueing, as in the paper).
+  bool failed = false;  ///< A task hit a terminal read error (lost data).
 };
 
 /// Periodic sample of one node's migration-memory footprint (paper Fig. 7).

@@ -42,14 +42,30 @@ void MonotoneTimeRule::check(const TraceEvent& event,
 
 void ReplicaAccountingRule::check(const TraceEvent& event,
                                   std::vector<InvariantViolation>& out) {
-  if (event.type != TraceEventType::kReplicaAdd) return;
-  const auto [it, inserted] = blocks_[event.block].insert(event.node);
-  (void)it;
-  if (!inserted) {
-    std::ostringstream os;
-    os << "node " << event.node << " already holds a replica of block "
-       << event.block;
-    violate(event, os.str(), out);
+  switch (event.type) {
+    case TraceEventType::kReplicaAdd: {
+      const auto [it, inserted] = blocks_[event.block].insert(event.node);
+      (void)it;
+      if (!inserted) {
+        std::ostringstream os;
+        os << "node " << event.node << " already holds a replica of block "
+           << event.block;
+        violate(event, os.str(), out);
+      }
+      break;
+    }
+    case TraceEventType::kReplicaInvalidate: {
+      const auto it = blocks_.find(event.block);
+      if (it == blocks_.end() || it->second.erase(event.node) == 0) {
+        std::ostringstream os;
+        os << "node " << event.node
+           << " invalidated a replica it never held of block " << event.block;
+        violate(event, os.str(), out);
+      }
+      break;
+    }
+    default:
+      break;
   }
 }
 
@@ -70,6 +86,10 @@ void ReadProvenanceRule::check(const TraceEvent& event,
   switch (event.type) {
     case TraceEventType::kReplicaAdd:
       replicas_[event.block].insert(event.node);
+      break;
+    case TraceEventType::kReplicaInvalidate:
+      // The on-disk copy is gone; any later read there is a provenance bug.
+      replicas_[event.block].erase(event.node);
       break;
     case TraceEventType::kNodeDead:
       dead_nodes_.insert(event.node);
@@ -236,6 +256,79 @@ void NodeDownRule::check(const TraceEvent& event,
 
 // ---------------------------------------------------------------------------
 
+void CorruptReadRule::check(const TraceEvent& event,
+                            std::vector<InvariantViolation>& out) {
+  const auto key = std::make_pair(event.node, event.block);
+  switch (event.type) {
+    case TraceEventType::kFaultBlockCorrupt:
+      (event.detail == 1 ? cache_corrupt_ : disk_corrupt_).insert(key);
+      return;
+    case TraceEventType::kCorruptionDetected:
+      // value=0 marks the disk replica in the NameNode; cached-copy
+      // detections (value=1) are handled locally and never reach it.
+      if (event.value == 0.0) marked_.insert(key);
+      return;
+    case TraceEventType::kReplicaInvalidate:
+      disk_corrupt_.erase(key);
+      marked_.erase(key);
+      return;
+    case TraceEventType::kCacheLock:
+    case TraceEventType::kCacheCommit:
+      // A freshly written copy starts clean.
+      cache_corrupt_.erase(key);
+      return;
+    case TraceEventType::kCacheUnlock:
+      if (event.block.valid()) {
+        cache_corrupt_.erase(key);
+      } else {
+        // Aggregate pool clear (crash/eviction sweep) drops every copy.
+        std::erase_if(cache_corrupt_,
+                      [&](const auto& e) { return e.first == event.node; });
+      }
+      return;
+    case TraceEventType::kFaultNodeCrash:
+      // The OS reclaims the locked pool; disk rot survives the crash.
+      std::erase_if(cache_corrupt_,
+                    [&](const auto& e) { return e.first == event.node; });
+      return;
+    case TraceEventType::kBlockReadEnd: {
+      const bool from_memory = event.detail == 1;
+      if (from_memory ? cache_corrupt_.contains(key)
+                      : disk_corrupt_.contains(key)) {
+        std::ostringstream os;
+        os << "clean read of block " << event.block << " served from node "
+           << event.node << "'s corrupt "
+           << (from_memory ? "cached copy" : "disk replica");
+        violate(event, os.str(), out);
+      }
+      return;
+    }
+    case TraceEventType::kMigrationComplete:
+      if (event.detail == 0 && disk_corrupt_.contains(key)) {
+        std::ostringstream os;
+        os << "node " << event.node
+           << " committed a migration of block " << event.block
+           << " fed by its corrupt disk replica";
+        violate(event, os.str(), out);
+      }
+      return;
+    case TraceEventType::kRepairStart:
+      // node = repair source here.
+      if (marked_.contains(key)) {
+        std::ostringstream os;
+        os << "repair of block " << event.block
+           << " sourced from node " << event.node
+           << " whose replica is marked corrupt";
+        violate(event, os.str(), out);
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+
 void HotPromotionRule::check(const TraceEvent& event,
                              std::vector<InvariantViolation>& out) {
   switch (event.type) {
@@ -275,6 +368,7 @@ InvariantChecker::InvariantChecker(bool install_default_rules) {
   add_rule(std::make_unique<QueueIntegrityRule>());
   add_rule(std::make_unique<HotPromotionRule>());
   add_rule(std::make_unique<NodeDownRule>());
+  add_rule(std::make_unique<CorruptReadRule>());
 }
 
 void InvariantChecker::add_rule(std::unique_ptr<InvariantRule> rule) {

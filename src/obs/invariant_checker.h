@@ -22,6 +22,10 @@
 //   NodeDownRule              no locked bytes, containers, migrations, or
 //                             reads on a node between its kFaultNodeCrash
 //                             and kRecoverNodeRestart events
+//   CorruptReadRule           once a copy is silently corrupted, no read
+//                             completes cleanly from it, no migration
+//                             commits it to memory, and no repair sources
+//                             from a NameNode-marked replica
 //
 // Violations are collected, not thrown: a run can finish and report every
 // breach, and tests can assert that crafted violating streams fire the
@@ -151,6 +155,26 @@ class NodeDownRule : public InvariantRule {
 
  private:
   std::unordered_set<NodeId> down_;
+};
+
+/// Data-integrity plane: a kFaultBlockCorrupt event poisons one copy (disk
+/// replica when detail=0, cached copy when detail=1). From then on a clean
+/// kBlockReadEnd from that copy's medium, a committed migration
+/// (kMigrationComplete detail=0) fed by the poisoned disk replica, or a
+/// kRepairStart sourced from a replica the NameNode has already marked
+/// corrupt (kCorruptionDetected value=0) is a violation. The poison clears
+/// only when the copy itself goes away: kReplicaInvalidate for the disk
+/// replica; unlock/overwrite/node-crash for the cached copy.
+class CorruptReadRule : public InvariantRule {
+ public:
+  const char* name() const override { return "corrupt_read"; }
+  void check(const TraceEvent& event,
+             std::vector<InvariantViolation>& out) override;
+
+ private:
+  std::set<std::pair<NodeId, BlockId>> disk_corrupt_;
+  std::set<std::pair<NodeId, BlockId>> cache_corrupt_;
+  std::set<std::pair<NodeId, BlockId>> marked_;  ///< NameNode knows.
 };
 
 class HotPromotionRule : public InvariantRule {

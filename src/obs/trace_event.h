@@ -85,6 +85,19 @@ enum class TraceEventType : std::uint8_t {
   kRecoverHeartbeat,    ///< heartbeat suppression ended.
   kMigrationRetry,      ///< master rerouted a migration off a dead node;
                         ///< detail = retry attempt number.
+  // Data-integrity plane (src/integrity). Only corruption injection or an
+  // enabled scrubber emits these, so pinned trace hashes are unaffected.
+  kFaultBlockCorrupt,   ///< silent bit-rot injected; bytes = block size,
+                        ///< detail = 0 disk replica, 1 cached copy.
+  kScrub,               ///< scrubber verified a stored block;
+                        ///< detail = 1 if the checksum pass failed.
+  kBlockReadCorrupt,    ///< read completed but the checksum failed; bytes =
+                        ///< block size, detail = 1 if served from memory.
+  kCorruptionDetected,  ///< integrity manager accepted a corruption report;
+                        ///< bytes = block size, detail = source (0 read,
+                        ///< 1 scrub, 2 migration), value = 1 if cached copy.
+  kReplicaInvalidate,   ///< NameNode dropped a corrupt replica from the
+                        ///< namespace; bytes = block size.
   kCount              ///< Sentinel; not a real event.
 };
 

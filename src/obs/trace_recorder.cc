@@ -98,6 +98,11 @@ const char* trace_event_name(TraceEventType type) {
     case TraceEventType::kRecoverNetwork: return "recover_network";
     case TraceEventType::kRecoverHeartbeat: return "recover_heartbeat";
     case TraceEventType::kMigrationRetry: return "migration_retry";
+    case TraceEventType::kFaultBlockCorrupt: return "fault_block_corrupt";
+    case TraceEventType::kScrub: return "scrub";
+    case TraceEventType::kBlockReadCorrupt: return "block_read_corrupt";
+    case TraceEventType::kCorruptionDetected: return "corruption_detected";
+    case TraceEventType::kReplicaInvalidate: return "replica_invalidate";
     case TraceEventType::kCount: break;
   }
   return "?";

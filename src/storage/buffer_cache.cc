@@ -35,6 +35,7 @@ bool BufferCache::lock(BlockId block, Bytes bytes) {
   if (entries_.contains(block)) return true;
   if (used_ + reserved_ + bytes > capacity_) return false;
   entries_.emplace(block, bytes);
+  corrupt_.erase(block);  // a fresh copy starts clean
   used_ += bytes;
   track_peak();
   emit(TraceEventType::kCacheLock, block, bytes);
@@ -57,6 +58,7 @@ void BufferCache::commit_reservation(BlockId block, Bytes bytes) {
                   "block " << block.value() << " already locked");
   reserved_ -= bytes;
   entries_.emplace(block, bytes);
+  corrupt_.erase(block);  // a fresh copy starts clean
   used_ += bytes;
   emit(TraceEventType::kCacheCommit, block, bytes);
 }
@@ -74,6 +76,7 @@ bool BufferCache::unlock(BlockId block) {
   used_ -= bytes;
   IGNEM_CHECK(used_ >= 0);
   entries_.erase(it);
+  corrupt_.erase(block);
   emit(TraceEventType::kCacheUnlock, block, bytes);
   return true;
 }
@@ -81,9 +84,24 @@ bool BufferCache::unlock(BlockId block) {
 void BufferCache::clear() {
   const Bytes dropped = used_ + reserved_;
   entries_.clear();
+  corrupt_.clear();
   used_ = 0;
   reserved_ = 0;
   if (dropped > 0) emit(TraceEventType::kCacheUnlock, BlockId::invalid(), dropped);
+}
+
+void BufferCache::mark_corrupt(BlockId block) {
+  IGNEM_CHECK_MSG(entries_.contains(block),
+                  "corrupting a block not locked in the pool");
+  corrupt_.insert(block);
+}
+
+std::vector<BlockId> BufferCache::blocks_sorted() const {
+  std::vector<BlockId> blocks;
+  blocks.reserve(entries_.size());
+  for (const auto& [block, bytes] : entries_) blocks.push_back(block);
+  std::sort(blocks.begin(), blocks.end());
+  return blocks;
 }
 
 }  // namespace ignem

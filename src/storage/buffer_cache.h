@@ -8,6 +8,8 @@
 #pragma once
 
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "common/check.h"
 #include "common/ids.h"
@@ -42,6 +44,16 @@ class BufferCache {
   /// Drops everything (slave restart: the OS reclaims the process's locks).
   void clear();
 
+  /// Flags the locked copy of `block` as silently corrupted (fault
+  /// injection). The mark lives exactly as long as the copy: unlock, clear,
+  /// or a fresh lock/commit of the block discards it.
+  void mark_corrupt(BlockId block);
+  bool is_corrupt(BlockId block) const { return corrupt_.contains(block); }
+  std::size_t corrupt_count() const { return corrupt_.size(); }
+
+  /// Locked block ids in ascending order (deterministic fault-target picks).
+  std::vector<BlockId> blocks_sorted() const;
+
   bool contains(BlockId block) const { return entries_.contains(block); }
   Bytes used() const { return used_ + reserved_; }
   Bytes locked() const { return used_; }
@@ -64,6 +76,7 @@ class BufferCache {
   Bytes reserved_ = 0;
   Bytes peak_used_ = 0;
   std::unordered_map<BlockId, Bytes> entries_;
+  std::unordered_set<BlockId> corrupt_;
   TraceRecorder* trace_ = nullptr;
   NodeId trace_node_;
 };

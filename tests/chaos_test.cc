@@ -23,14 +23,25 @@ struct ChaosResult {
   std::uint64_t seed = 0;
   bool completed = false;
   std::size_t jobs = 0;
+  std::size_t failed_jobs = 0;
   std::size_t faults_injected = 0;
-  std::string violations;        ///< Empty when every invariant held.
-  std::string replica_mismatch;  ///< Empty when trace and NameNode agree.
+  std::string violations;         ///< Empty when every invariant held.
+  std::string replica_mismatch;   ///< Empty when trace and NameNode agree.
+  std::string integrity_mismatch; ///< Empty when corruption accounting closed.
+  std::uint64_t unrepairable = 0; ///< Blocks repair gave up on.
   Bytes leaked_locked_bytes = 0;
   std::string plan;  ///< For reproducing a failing seed.
 };
 
-ChaosResult run_chaos(RunMode mode, std::uint64_t seed) {
+struct ChaosOptions {
+  std::uint32_t fault_kinds = kLoudFaultKinds;
+  std::size_t fault_count = 6;
+  std::uint64_t plan_seed_base = 9000;
+  bool scrubber = false;
+};
+
+ChaosResult run_chaos(RunMode mode, std::uint64_t seed,
+                      ChaosOptions options = {}) {
   TestbedConfig config;
   config.mode = mode;
   config.cluster.node_count = 4;
@@ -39,6 +50,8 @@ ChaosResult run_chaos(RunMode mode, std::uint64_t seed) {
   config.seed = 1000 + seed;
   config.fault_tolerance = true;
   config.check_invariants = true;
+  config.integrity.enable_scrubber = options.scrubber;
+  config.integrity.scrub_interval = Duration::seconds(5);
   Testbed testbed(config);
 
   SwimConfig swim;
@@ -49,11 +62,11 @@ ChaosResult run_chaos(RunMode mode, std::uint64_t seed) {
   swim.seed = 100 + seed;
   auto jobs = build_swim_workload(testbed, swim);
 
-  Rng rng(9000 + seed);
+  Rng rng(options.plan_seed_base + seed);
   const FaultPlan plan = FaultPlan::random(
-      rng, config.cluster.node_count, /*fault_count=*/6,
+      rng, config.cluster.node_count, options.fault_count,
       /*horizon=*/Duration::seconds(90), /*min_outage=*/Duration::seconds(5),
-      /*max_outage=*/Duration::seconds(25));
+      /*max_outage=*/Duration::seconds(25), options.fault_kinds);
   FaultInjector injector(testbed.sim(), testbed, plan);
   injector.arm();
 
@@ -81,6 +94,11 @@ ChaosResult run_chaos(RunMode mode, std::uint64_t seed) {
   result.faults_injected = injector.injected();
   result.violations = testbed.invariant_checker()->report();
   result.replica_mismatch = testbed.replica_model_mismatch();
+  result.integrity_mismatch = testbed.integrity_accounting_mismatch();
+  result.unrepairable = testbed.replication_manager().stats().blocks_unrepairable;
+  for (const JobRecord& job : testbed.metrics().jobs()) {
+    if (job.failed) ++result.failed_jobs;
+  }
   for (std::size_t i = 0; i < config.cluster.node_count; ++i) {
     result.leaked_locked_bytes +=
         testbed.datanode(NodeId(static_cast<std::int64_t>(i))).cache().used();
@@ -96,7 +114,14 @@ void expect_clean(const ChaosResult& result, std::size_t expected_jobs) {
   EXPECT_GT(result.faults_injected, 0u);
   EXPECT_EQ(result.violations, "");
   EXPECT_EQ(result.replica_mismatch, "");
+  EXPECT_EQ(result.integrity_mismatch, "");
   EXPECT_EQ(result.leaked_locked_bytes, 0u);
+  // A job may only fail when data was genuinely lost (every copy of some
+  // block rotted before repair could save it); all other fault schedules
+  // must degrade performance, never correctness.
+  if (result.unrepairable == 0) {
+    EXPECT_EQ(result.failed_jobs, 0u) << "job failed without lost data";
+  }
 }
 
 TEST(Chaos, RandomFaultSweepIgnem) {
@@ -113,6 +138,35 @@ TEST(Chaos, RandomFaultSweepHdfs) {
   constexpr std::size_t kSeeds = 8;
   const auto results = bench::run_indexed_sweep(
       kSeeds, [](std::size_t i) { return run_chaos(RunMode::kHdfs, i); });
+  for (const ChaosResult& result : results) expect_clean(result, 12u);
+}
+
+ChaosOptions corruption_options() {
+  ChaosOptions options;
+  options.fault_kinds = kAllFaultKinds;  // adds kBlockCorrupt / kCacheCorrupt
+  options.fault_count = 8;
+  options.plan_seed_base = 12000;
+  options.scrubber = true;
+  return options;
+}
+
+TEST(Chaos, CorruptionChaosSweepIgnem) {
+  // Silent corruption mixed into the loud fault schedule, with the scrubber
+  // hunting latent rot in the background. Detection, repair, cache purges,
+  // and migration rerouting all race the workload; the integrity accounting
+  // must still close exactly.
+  constexpr std::size_t kSeeds = 10;
+  const auto results = bench::run_indexed_sweep(kSeeds, [](std::size_t i) {
+    return run_chaos(RunMode::kIgnem, i, corruption_options());
+  });
+  for (const ChaosResult& result : results) expect_clean(result, 12u);
+}
+
+TEST(Chaos, CorruptionChaosSweepHdfs) {
+  constexpr std::size_t kSeeds = 6;
+  const auto results = bench::run_indexed_sweep(kSeeds, [](std::size_t i) {
+    return run_chaos(RunMode::kHdfs, i, corruption_options());
+  });
   for (const ChaosResult& result : results) expect_clean(result, 12u);
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -75,6 +76,7 @@ TEST_F(DfsClientTest, RemoteCachedBeatsLocalDisk) {
   const auto record = read(NodeId(0), block);
   EXPECT_TRUE(record.remote);
   EXPECT_TRUE(record.from_memory);
+  EXPECT_EQ(record.source, NodeId(3));
   // RAM + network is far faster than the contention-free local HDD read.
   const auto local = read(NodeId(1), BlockId(one_block_file("/b")));
   EXPECT_LT(record.duration.to_seconds(), local.duration.to_seconds());
@@ -109,6 +111,94 @@ TEST_F(DfsClientTest, PreferredLocationsPutCachedFirst) {
   const auto preferred = client_->preferred_locations(block);
   ASSERT_EQ(preferred.size(), 3u);
   EXPECT_EQ(preferred[0], replicas[2]);
+}
+
+TEST_F(DfsClientTest, CachedCopyOnFailedDiskStillEligible) {
+  // The block sits in the sole holder's locked memory while its disk is
+  // fail-stopped: the cached copy must still serve the read.
+  build(4, 1);
+  const BlockId block = one_block_file("/a");
+  const NodeId holder = namenode_->block(block).replicas[0];
+  DataNode& dn = *datanodes_[static_cast<std::size_t>(holder.value())];
+  dn.cache().lock(block, 64 * kMiB);
+  dn.set_disk_failed(true);
+  const auto record = read(NodeId((holder.value() + 1) % 4), block);
+  EXPECT_FALSE(record.failed);
+  EXPECT_TRUE(record.from_memory);
+  EXPECT_EQ(record.source, holder);
+}
+
+TEST_F(DfsClientTest, RemoteDiskTieBreaksByNodeId) {
+  build(4, 2);
+  const BlockId block = one_block_file("/a");
+  std::vector<NodeId> replicas = namenode_->block(block).replicas;
+  std::sort(replicas.begin(), replicas.end());
+  NodeId reader;
+  for (std::int64_t i = 0; i < 4; ++i) {
+    if (std::find(replicas.begin(), replicas.end(), NodeId(i)) ==
+        replicas.end()) {
+      reader = NodeId(i);
+      break;
+    }
+  }
+  ASSERT_TRUE(reader.valid());
+  // Both holders idle: equal load, so the smallest node id must win.
+  const auto record = read(reader, block);
+  EXPECT_TRUE(record.remote);
+  EXPECT_EQ(record.source, replicas.front());
+}
+
+TEST_F(DfsClientTest, RemoteDiskPrefersLeastLoadedReplica) {
+  build(4, 2);
+  const BlockId block = one_block_file("/a");
+  std::vector<NodeId> replicas = namenode_->block(block).replicas;
+  std::sort(replicas.begin(), replicas.end());
+  NodeId reader;
+  for (std::int64_t i = 0; i < 4; ++i) {
+    if (std::find(replicas.begin(), replicas.end(), NodeId(i)) ==
+        replicas.end()) {
+      reader = NodeId(i);
+      break;
+    }
+  }
+  ASSERT_TRUE(reader.valid());
+  // Busy the tie-break winner's device; load must steer to the other holder.
+  datanodes_[static_cast<std::size_t>(replicas[0].value())]
+      ->primary_device()
+      .read(1 * kGiB, [] {});
+  const auto record = read(reader, block);
+  EXPECT_TRUE(record.remote);
+  EXPECT_EQ(record.source, replicas[1]);
+}
+
+TEST_F(DfsClientTest, ReadFailsTerminallyAtDeadline) {
+  // Sole replica behind a fail-stopped disk: the retry loop must give up at
+  // the deadline with failed=true instead of retrying forever (sim_.run()
+  // returning at all proves the loop terminated).
+  build(2, 1);
+  const BlockId block = one_block_file("/a");
+  const NodeId holder = namenode_->block(block).replicas[0];
+  datanodes_[static_cast<std::size_t>(holder.value())]->set_disk_failed(true);
+  client_->set_read_deadline(Duration::seconds(3));
+  const auto record = read(NodeId((holder.value() + 1) % 2), block);
+  EXPECT_TRUE(record.failed);
+  EXPECT_GE(record.duration.to_seconds(), 3.0);
+  EXPECT_LT(record.duration.to_seconds(), 3.6);
+  ASSERT_EQ(metrics_.block_reads().size(), 1u);
+  EXPECT_TRUE(metrics_.block_reads()[0].failed);
+}
+
+TEST_F(DfsClientTest, ReadRecoversWhenDiskReturnsBeforeDeadline) {
+  build(2, 1);
+  const BlockId block = one_block_file("/a");
+  const NodeId holder = namenode_->block(block).replicas[0];
+  DataNode& dn = *datanodes_[static_cast<std::size_t>(holder.value())];
+  dn.set_disk_failed(true);
+  sim_.schedule(Duration::seconds(5), [&dn] { dn.set_disk_failed(false); });
+  client_->set_read_deadline(Duration::seconds(60));
+  const auto record = read(NodeId((holder.value() + 1) % 2), block);
+  EXPECT_FALSE(record.failed);
+  EXPECT_GE(record.duration.to_seconds(), 5.0);
 }
 
 TEST_F(DfsClientTest, MetricsRecorded) {

@@ -50,6 +50,54 @@ TEST(FaultPlan, RandomRespectsBounds) {
   }
 }
 
+TEST(FaultPlan, DefaultMaskReproducesLegacyPlansByteForByte) {
+  // Plans drawn before the corruption kinds existed must not change: the
+  // default mask (the seven loud kinds) consumes the Rng identically to an
+  // explicit mask, and never emits a corruption fault.
+  Rng implicit_rng(21), explicit_rng(21);
+  const FaultPlan implicit_plan =
+      FaultPlan::random(implicit_rng, 6, 40, Duration::seconds(120),
+                        Duration::seconds(5), Duration::seconds(25));
+  const FaultPlan explicit_plan = FaultPlan::random(
+      explicit_rng, 6, 40, Duration::seconds(120), Duration::seconds(5),
+      Duration::seconds(25), kLoudFaultKinds);
+  EXPECT_EQ(implicit_plan.to_string(), explicit_plan.to_string());
+  for (const FaultSpec& fault : implicit_plan.faults) {
+    EXPECT_NE(fault.kind, FaultKind::kBlockCorrupt);
+    EXPECT_NE(fault.kind, FaultKind::kCacheCorrupt);
+  }
+}
+
+TEST(FaultPlan, MaskRestrictsDrawnKinds) {
+  Rng rng(5);
+  const FaultPlan plan = FaultPlan::random(
+      rng, 4, 30, Duration::seconds(60), Duration::seconds(5),
+      Duration::seconds(20),
+      fault_kind_bit(FaultKind::kBlockCorrupt) |
+          fault_kind_bit(FaultKind::kCacheCorrupt));
+  ASSERT_EQ(plan.faults.size(), 30u);
+  for (const FaultSpec& fault : plan.faults) {
+    EXPECT_TRUE(fault.kind == FaultKind::kBlockCorrupt ||
+                fault.kind == FaultKind::kCacheCorrupt);
+  }
+}
+
+TEST(FaultPlan, AllKindsMaskDrawsCorruptionFaults) {
+  Rng rng(11);
+  const FaultPlan plan = FaultPlan::random(
+      rng, 4, 200, Duration::seconds(300), Duration::seconds(5),
+      Duration::seconds(20), kAllFaultKinds);
+  std::size_t corruption = 0;
+  for (const FaultSpec& fault : plan.faults) {
+    if (fault.kind == FaultKind::kBlockCorrupt ||
+        fault.kind == FaultKind::kCacheCorrupt) {
+      ++corruption;
+    }
+  }
+  // 2 of 9 kinds over 200 draws: overwhelmingly likely to appear.
+  EXPECT_GT(corruption, 0u);
+}
+
 /// Records begin/end calls so window refcounting is observable.
 class RecordingTarget : public FaultTarget {
  public:
@@ -70,6 +118,10 @@ class RecordingTarget : public FaultTarget {
   void end_network_degrade(NodeId node) override { log("net-ok", node); }
   void begin_heartbeat_delay(NodeId node) override { log("hb-stop", node); }
   void end_heartbeat_delay(NodeId node) override { log("hb-ok", node); }
+  void corrupt_block(NodeId node) override { log("corrupt", node); }
+  void corrupt_cached_block(NodeId node) override {
+    log("cache-corrupt", node);
+  }
   std::size_t node_count() const override { return 4; }
 
   std::vector<std::string> calls;
@@ -131,6 +183,23 @@ TEST(FaultInjector, MasterCrashWindowsRefcountAcrossNodes) {
   sim.run();
   EXPECT_EQ(target.calls, (std::vector<std::string>{"master-crash@-1",
                                                     "master-restart@-1"}));
+}
+
+TEST(FaultInjector, CorruptionFaultsArePointEventsWithNoRecovery) {
+  Simulator sim;
+  RecordingTarget target;
+  FaultPlan plan;
+  // Long durations that must be ignored: corruption has no recovery event.
+  plan.faults.push_back({FaultKind::kBlockCorrupt, Duration::seconds(2),
+                         Duration::seconds(50), NodeId(1)});
+  plan.faults.push_back({FaultKind::kCacheCorrupt, Duration::seconds(4),
+                         Duration::seconds(50), NodeId(3)});
+  FaultInjector injector(sim, target, plan);
+  injector.arm();
+  sim.run();
+  EXPECT_EQ(injector.injected(), 2u);
+  EXPECT_EQ(target.calls,
+            (std::vector<std::string>{"corrupt@1", "cache-corrupt@3"}));
 }
 
 TestbedConfig small_testbed() {
