@@ -8,7 +8,7 @@
 namespace ignem::bench {
 namespace {
 
-double run_with_policy(MigrationPolicy policy) {
+double run_with_policy(QueueOrder policy) {
   TestbedConfig config = paper_testbed(RunMode::kIgnem);
   config.ignem.policy = policy;
   Testbed testbed(config);
@@ -22,19 +22,19 @@ void main_impl() {
 
   const double hdfs =
       run_swim(RunMode::kHdfs)->metrics().mean_job_duration_seconds();
-  const double sjf = run_with_policy(MigrationPolicy::kSmallestJobFirst);
-  const double fifo = run_with_policy(MigrationPolicy::kFifo);
+  const double sjf = run_with_policy(QueueOrder::kSmallestJobFirst);
+  const double fifo = run_with_policy(QueueOrder::kFifo);
 
   TextTable table({"Policy", "Mean job duration (s)", "Speedup w.r.t. HDFS"});
   table.add_row({"HDFS (no migration)", TextTable::fixed(hdfs, 2), "-"});
-  for (const MigrationPolicy policy :
-       {MigrationPolicy::kSmallestJobFirst, MigrationPolicy::kFifo,
-        MigrationPolicy::kLifo, MigrationPolicy::kLargestJobFirst}) {
-    const double mean = policy == MigrationPolicy::kSmallestJobFirst ? sjf
-                        : policy == MigrationPolicy::kFifo
+  for (const QueueOrder policy :
+       {QueueOrder::kSmallestJobFirst, QueueOrder::kFifo,
+        QueueOrder::kLifo, QueueOrder::kLargestJobFirst}) {
+    const double mean = policy == QueueOrder::kSmallestJobFirst ? sjf
+                        : policy == QueueOrder::kFifo
                             ? fifo
                             : run_with_policy(policy);
-    table.add_row({std::string("Ignem, ") + migration_policy_name(policy),
+    table.add_row({std::string("Ignem, ") + queue_order_name(policy),
                    TextTable::fixed(mean, 2),
                    TextTable::percent(speedup(hdfs, mean))});
   }

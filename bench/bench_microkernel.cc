@@ -282,7 +282,7 @@ void bench_migration_queue(BenchReport& report) {
   const auto start = std::chrono::steady_clock::now();
   std::uint64_t popped = 0;
   for (int round = 0; round < kRounds; ++round) {
-    MigrationQueue queue(MigrationPolicy::kSmallestJobFirst);
+    MigrationQueue queue(QueueOrder::kSmallestJobFirst);
     for (int i = 0; i < kEntries; ++i) {
       PendingMigration m;
       m.block = BlockId(i);

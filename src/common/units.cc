@@ -29,6 +29,12 @@ Duration transfer_time(Bytes bytes, Bandwidth bw) {
   return Duration::micros(micros < 1 ? 1 : micros);
 }
 
+Bytes transfer_bytes(Duration elapsed, Bandwidth bw) {
+  IGNEM_CHECK(elapsed >= Duration::zero());
+  IGNEM_CHECK(bw > 0);
+  return static_cast<Bytes>(elapsed.to_seconds() * bw);
+}
+
 std::string format_bytes(Bytes b) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(2);

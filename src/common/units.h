@@ -94,6 +94,10 @@ constexpr Bandwidth gib_per_sec(double v) { return v * static_cast<double>(kGiB)
 /// so zero-length waits cannot occur for non-empty transfers.
 Duration transfer_time(Bytes bytes, Bandwidth bw);
 
+/// Bytes moved in `elapsed` at rate `bw` (inverse of transfer_time, rounded
+/// down to whole bytes).
+Bytes transfer_bytes(Duration elapsed, Bandwidth bw);
+
 /// Human-readable byte count ("1.5 GiB").
 std::string format_bytes(Bytes b);
 

@@ -7,15 +7,17 @@ namespace ignem {
 
 /// Order in which a slave drains its migration queue (§III-A1, §IV-C5).
 /// The paper ships smallest-job-first and evaluates FIFO as the ablation;
-/// the other policies explore the §VI design space.
-enum class MigrationPolicy {
+/// the other orders explore the §VI design space. (Distinct from
+/// storage/migration_policy.h's MigrationPolicy, which decides *where*
+/// copies move in the tier hierarchy; this decides *what* moves next.)
+enum class QueueOrder {
   kSmallestJobFirst,  ///< Prioritize blocks of jobs with smaller inputs.
   kFifo,              ///< Arrival order (the ablation baseline).
   kLargestJobFirst,   ///< Anti-policy: big jobs first (completeness check).
   kLifo,              ///< Most recent submission first.
 };
 
-const char* migration_policy_name(MigrationPolicy policy);
+const char* queue_order_name(QueueOrder policy);
 
 struct IgnemConfig {
   /// Per-slave cap on locked migration memory (§III-B2). The paper's
@@ -27,7 +29,7 @@ struct IgnemConfig {
   /// liveness and reaps references of dead jobs (§III-A4).
   double cleanup_occupancy_threshold = 0.8;
 
-  MigrationPolicy policy = MigrationPolicy::kSmallestJobFirst;
+  QueueOrder policy = QueueOrder::kSmallestJobFirst;
 
   /// Per-slave ceiling on migration throughput. The mmap+mlock page-in path
   /// (§III-B1) runs well below raw sequential disk speed: each fault goes

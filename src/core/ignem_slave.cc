@@ -76,7 +76,14 @@ void IgnemSlave::maybe_start() {
     }
     BlockState& state = it->second;
 
-    BufferCache& cache = datanode_.cache();
+    // The policy picks where the copy lands (tier 0 for every stock
+    // policy); the page-in reads from the fastest tier already holding a
+    // copy — the home device in the legacy layout, possibly a victim tier
+    // in a demoting hierarchy.
+    const std::size_t target = datanode_.promotion_tier();
+    std::size_t source = datanode_.tiers().serving_tier(head->block);
+    if (source <= target) source = datanode_.tiers().home_tier();
+    BufferCache& cache = datanode_.tiers().pool(target);
     if (cache.available() < state.bytes) {
       const double occupancy =
           cache.capacity() == 0
@@ -104,7 +111,7 @@ void IgnemSlave::maybe_start() {
                    m.job, state.bytes);
     }
     const SimTime started = sim_.now();
-    const TransferHandle transfer = datanode_.primary_device().read(
+    const TransferHandle transfer = datanode_.tiers().device(source).read(
         state.bytes, [this, block = m.block, bytes = state.bytes, started] {
           // The physical read is done and the disk free; pad out to the
           // mlock page-in budget (config.migration_rate_cap) before the
@@ -117,7 +124,7 @@ void IgnemSlave::maybe_start() {
             on_migration_complete(block, bytes);
           });
         });
-    current_ = ActiveMigration{m.block, state.bytes, transfer};
+    current_ = ActiveMigration{m.block, state.bytes, source, target, transfer};
   }
 }
 
@@ -140,14 +147,26 @@ void IgnemSlave::on_migration_complete(BlockId block, Bytes bytes) {
   // its page-in pad event was pending; the purge already returned the
   // reservation, so the late event is a no-op.
   if (!current_.has_value() || current_->block != block) return;
+  const std::size_t target = current_->target;
+  const std::size_t home = datanode_.tiers().home_tier();
+  // Re-resolve the source: a victim-tier copy the page-in was reading may
+  // have been aged out mid-transfer, in which case the promotion is
+  // attributed to the home tier the durable replica lives in.
+  std::size_t source = current_->source;
+  if (source != home && !datanode_.tiers().pool(source).contains(block)) {
+    source = home;
+  }
   current_.reset();
-  if (datanode_.is_corrupt(block)) {
+  const bool source_corrupt =
+      source == home ? datanode_.is_corrupt(block)
+                     : datanode_.tiers().pool(source).is_corrupt(block);
+  if (source_corrupt) {
     // The checksum pass over the paged-in bytes failed: the local disk
     // replica is rotten, and committing it would amplify the rot into a
     // RAM-speed copy. Abort the commit (detail=1, like other aborted
     // migrations), drop the command state, and report — the master
     // reroutes the interested jobs to a clean replica.
-    datanode_.cache().cancel_reservation(bytes);
+    datanode_.tiers().pool(target).cancel_reservation(bytes);
     if (trace_ != nullptr) {
       trace_->emit(TraceEventType::kMigrationComplete, datanode_.id(), block,
                    JobId::invalid(), bytes, 1);
@@ -169,8 +188,14 @@ void IgnemSlave::on_migration_complete(BlockId block, Bytes bytes) {
   }
   const auto it = blocks_.find(block);
   IGNEM_CHECK(it != blocks_.end());
-  datanode_.cache().commit_reservation(block, bytes);
+  datanode_.tiers().pool(target).commit_reservation(block, bytes);
   it->second.phase = Phase::kInMemory;
+  it->second.tier = target;
+  if (source != home) {
+    // The victim-tier copy moved up; the lower copy is redundant now.
+    datanode_.tiers().pool(source).unlock(block);
+  }
+  datanode_.tiers().note_promote(source, target, block, bytes);
   if (it->second.jobs.empty()) {
     // Every interested job finished or read from disk mid-migration.
     drop_block(block);
@@ -201,7 +226,7 @@ void IgnemSlave::remove_reference(BlockId block, JobId job, bool missed_read) {
   }
 }
 
-void IgnemSlave::drop_block(BlockId block) {
+void IgnemSlave::drop_block(BlockId block, bool allow_demote) {
   const auto it = blocks_.find(block);
   if (it == blocks_.end()) return;
   switch (it->second.phase) {
@@ -209,7 +234,8 @@ void IgnemSlave::drop_block(BlockId block) {
       queue_.erase_block(block);
       break;
     case Phase::kInMemory:
-      datanode_.cache().unlock(block);
+      datanode_.release_copy(block, it->second.tier, it->second.bytes,
+                             allow_demote);
       ++stats_.evictions;
       if (trace_ != nullptr) {
         trace_->emit(TraceEventType::kEviction, datanode_.id(), block,
@@ -278,7 +304,7 @@ bool IgnemSlave::purge_block(BlockId block) {
     return false;
   }
   const bool had_copy = it->second.phase == Phase::kInMemory;
-  drop_block(block);
+  drop_block(block, /*allow_demote=*/false);
   maybe_start();  // the queue may have been memory-stalled
   return had_copy;
 }
@@ -288,8 +314,9 @@ void IgnemSlave::purge_all() {
   // everything.
   wake_pending_ = false;
   if (current_.has_value()) {
-    datanode_.primary_device().abort(current_->transfer);
-    datanode_.cache().cancel_reservation(current_->bytes);
+    datanode_.tiers().device(current_->source).abort(current_->transfer);
+    datanode_.tiers().pool(current_->target).cancel_reservation(
+        current_->bytes);
     if (trace_ != nullptr) {
       // detail=1 marks an aborted (not finished) migration.
       trace_->emit(TraceEventType::kMigrationComplete, datanode_.id(),
@@ -299,7 +326,9 @@ void IgnemSlave::purge_all() {
   }
   for (const auto& [block, state] : blocks_) {
     if (state.phase == Phase::kInMemory) {
-      datanode_.cache().unlock(block);
+      // Resync purge, not an organic release: never demote.
+      datanode_.release_copy(block, state.tier, state.bytes,
+                             /*allow_demote=*/false);
       ++stats_.evictions;
       if (trace_ != nullptr) {
         trace_->emit(TraceEventType::kEviction, datanode_.id(), block,
@@ -317,12 +346,13 @@ void IgnemSlave::purge_all() {
 void IgnemSlave::reset() {
   wake_pending_ = false;
   if (current_.has_value()) {
-    datanode_.primary_device().abort(current_->transfer);
+    datanode_.tiers().device(current_->source).abort(current_->transfer);
     // The locked pool itself is wiped by DataNode::fail(); only drop our
     // bookkeeping here. If the DataNode process survived (reset without
     // fail), the reservation must still be returned.
-    if (datanode_.cache().reserved() >= current_->bytes) {
-      datanode_.cache().cancel_reservation(current_->bytes);
+    BufferCache& pool = datanode_.tiers().pool(current_->target);
+    if (pool.reserved() >= current_->bytes) {
+      pool.cancel_reservation(current_->bytes);
     }
     if (trace_ != nullptr) {
       trace_->emit(TraceEventType::kMigrationComplete, datanode_.id(),

@@ -9,21 +9,21 @@ namespace ignem {
 bool MigrationQueue::Order::operator()(const PendingMigration& a,
                                        const PendingMigration& b) const {
   switch (policy) {
-    case MigrationPolicy::kSmallestJobFirst:
+    case QueueOrder::kSmallestJobFirst:
       if (a.job_input_bytes != b.job_input_bytes) {
         return a.job_input_bytes < b.job_input_bytes;
       }
       // Equal input sizes: job submission time breaks the tie (§III-A1);
       // arrival_seq encodes submission order.
       break;
-    case MigrationPolicy::kLargestJobFirst:
+    case QueueOrder::kLargestJobFirst:
       if (a.job_input_bytes != b.job_input_bytes) {
         return a.job_input_bytes > b.job_input_bytes;
       }
       break;
-    case MigrationPolicy::kLifo:
+    case QueueOrder::kLifo:
       return a.arrival_seq > b.arrival_seq;
-    case MigrationPolicy::kFifo:
+    case QueueOrder::kFifo:
       break;
   }
   if (a.arrival_seq != b.arrival_seq) return a.arrival_seq < b.arrival_seq;
@@ -31,17 +31,17 @@ bool MigrationQueue::Order::operator()(const PendingMigration& a,
   return a.job < b.job;
 }
 
-const char* migration_policy_name(MigrationPolicy policy) {
+const char* queue_order_name(QueueOrder policy) {
   switch (policy) {
-    case MigrationPolicy::kSmallestJobFirst: return "smallest-job-first";
-    case MigrationPolicy::kFifo: return "fifo";
-    case MigrationPolicy::kLargestJobFirst: return "largest-job-first";
-    case MigrationPolicy::kLifo: return "lifo";
+    case QueueOrder::kSmallestJobFirst: return "smallest-job-first";
+    case QueueOrder::kFifo: return "fifo";
+    case QueueOrder::kLargestJobFirst: return "largest-job-first";
+    case QueueOrder::kLifo: return "lifo";
   }
   return "?";
 }
 
-MigrationQueue::MigrationQueue(MigrationPolicy policy)
+MigrationQueue::MigrationQueue(QueueOrder policy)
     : entries_(Order{policy}) {}
 
 void MigrationQueue::emit(TraceEventType type, const PendingMigration& m) const {

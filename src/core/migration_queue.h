@@ -36,7 +36,7 @@ struct PendingMigration {
 
 class MigrationQueue {
  public:
-  explicit MigrationQueue(MigrationPolicy policy);
+  explicit MigrationQueue(QueueOrder policy);
 
   /// Enqueues a command. Multiple jobs may queue the same block; each entry
   /// is tracked separately so reference bookkeeping stays exact.
@@ -81,7 +81,7 @@ class MigrationQueue {
   void emit(TraceEventType type, const PendingMigration& m) const;
 
   struct Order {
-    MigrationPolicy policy;
+    QueueOrder policy;
     bool operator()(const PendingMigration& a, const PendingMigration& b) const;
   };
 

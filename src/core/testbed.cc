@@ -46,13 +46,42 @@ Testbed::Testbed(TestbedConfig config)
   namenode_->set_trace(trace_.get());
   const DeviceProfile primary =
       config_.primary_profile.value_or(profile_for(config_.storage_media));
+  // An explicit two-tier stack under UpwardOnHeat is bit-identical to the
+  // legacy layout, so tier events only join the stream when the hierarchy
+  // or the policy actually diverges from it.
+  const bool tiered = !config_.tiering.tiers.empty();
+  const bool emit_tier_events =
+      tiered && (config_.tiering.tiers.size() > 2 ||
+                 config_.tiering.policy != TierPolicyKind::kUpwardOnHeat);
+  if (tiered) {
+    tier_policy_ = make_tier_policy(config_.tiering.policy,
+                                    config_.tiering.cold_after);
+  }
   for (std::size_t i = 0; i < n; ++i) {
     const NodeId id(static_cast<std::int64_t>(i));
-    datanodes_.push_back(std::make_unique<DataNode>(
-        sim_, id, primary, config_.cache_capacity_per_node,
-        rng_.fork(100 + i)));
-    datanodes_.back()->set_trace(trace_.get());
+    if (tiered) {
+      datanodes_.push_back(std::make_unique<DataNode>(
+          sim_, id, config_.tiering.tiers, rng_.fork(100 + i)));
+    } else {
+      datanodes_.push_back(std::make_unique<DataNode>(
+          sim_, id, primary, config_.cache_capacity_per_node,
+          rng_.fork(100 + i)));
+    }
+    if (tier_policy_ != nullptr) {
+      datanodes_.back()->set_migration_policy(tier_policy_.get());
+    }
+    datanodes_.back()->set_trace(trace_.get(), emit_tier_events);
     namenode_->register_datanode(datanodes_.back().get());
+  }
+  if (tiered && config_.tiering.policy == TierPolicyKind::kDownwardOnCold &&
+      config_.tiering.age_check_period > Duration::zero()) {
+    for (const auto& dn : datanodes_) {
+      DataNode* raw = dn.get();
+      age_tasks_.push_back(std::make_unique<PeriodicTask>(
+          sim_, config_.tiering.age_check_period, [this, raw] {
+            raw->age_victim_copies(config_.tiering.cold_after);
+          }));
+    }
   }
 
   network_ = std::make_unique<Network>(sim_, n, config_.network);
@@ -122,11 +151,15 @@ Testbed::Testbed(TestbedConfig config)
       *namenode_, *replication_manager_, config_.replication);
   integrity_->set_trace(trace_.get());
   integrity_->set_cache_purger([this](NodeId node, BlockId block) {
+    DataNode& dn = datanode(node);
+    // Victim-tier copies are node-owned (not slave bookkeeping); drop them
+    // first, then let the slave purge its tier-0 copy and references.
+    const bool victim_dropped = dn.purge_victim_copies(block);
     IgnemSlave* slave = ignem_slave(node);
-    if (slave != nullptr) return slave->purge_block(block);
-    BufferCache& cache = datanode(node).cache();
-    if (!cache.contains(block)) return false;
-    return cache.unlock(block);
+    if (slave != nullptr) return slave->purge_block(block) || victim_dropped;
+    BufferCache& cache = dn.cache();
+    if (!cache.contains(block)) return victim_dropped;
+    return cache.unlock(block) || victim_dropped;
   });
   integrity_->set_on_disk_corrupt([this](BlockId block, NodeId node) {
     if (master_ != nullptr) master_->on_replica_corrupt(block, node);
@@ -215,10 +248,10 @@ std::string Testbed::integrity_accounting_mismatch() const {
   // Cached-copy marks live exactly as long as the copy; with caches drained
   // none may remain.
   for (const auto& dn : datanodes_) {
-    if (dn->cache().corrupt_count() != 0) {
+    if (dn->tiers().pool_corrupt_count() != 0) {
       out << "node " << dn->id().value() << ": "
-          << dn->cache().corrupt_count()
-          << " cache corruption marks outlived their copies";
+          << dn->tiers().pool_corrupt_count()
+          << " pool corruption marks outlived their copies";
       return out.str();
     }
   }
@@ -254,6 +287,21 @@ void Testbed::sample_memory() {
     sample.when = sim_.now();
     sample.locked_bytes = dn->cache().used();
     metrics_.add_memory_sample(sample);
+    if (!dn->tiering_active()) continue;
+    const TierHierarchy& tiers = dn->tiers();
+    for (std::size_t t = 0; t < tiers.tier_count(); ++t) {
+      TierSample ts;
+      ts.node = dn->id();
+      ts.when = sim_.now();
+      ts.tier = t;
+      ts.used = t == tiers.home_tier() ? 0 : tiers.pool(t).used();
+      ts.capacity = tiers.spec(t).capacity;
+      const TierStats& stats = tiers.stats(t);
+      ts.reads = stats.reads;
+      ts.promotes_in = stats.promotes_in;
+      ts.demotes_in = stats.demotes_in;
+      metrics_.add_tier_sample(ts);
+    }
   }
 }
 

@@ -37,6 +37,8 @@
 #include "obs/trace_recorder.h"
 #include "sim/periodic.h"
 #include "sim/simulator.h"
+#include "storage/migration_policy.h"
+#include "storage/tier.h"
 
 namespace ignem {
 
@@ -51,6 +53,23 @@ enum class RunMode {
 };
 
 const char* run_mode_name(RunMode mode);
+
+/// Opt-in N-tier storage configuration. An empty tier stack keeps the
+/// legacy two-tier layout (RAM locked pool over the primary device), which
+/// is bit-identical to the pre-TierHierarchy testbed; an explicit two-tier
+/// stack with the UpwardOnHeat policy is bit-identical too (the
+/// differential regression tests pin both).
+struct TieringConfig {
+  /// Tier stack, fastest first, home tier (capacity 0) last. Empty = the
+  /// legacy layout built from storage_media + cache_capacity_per_node.
+  std::vector<TierSpec> tiers;
+  TierPolicyKind policy = TierPolicyKind::kUpwardOnHeat;
+  /// DownwardOnCold: a victim copy idle this long ages one tier down.
+  Duration cold_after = Duration::seconds(30.0);
+  /// Period of the per-node ageing sweep (DownwardOnCold only); zero
+  /// disables ageing.
+  Duration age_check_period = Duration::seconds(5.0);
+};
 
 struct TestbedConfig {
   RunMode mode = RunMode::kHdfs;
@@ -90,6 +109,8 @@ struct TestbedConfig {
   /// injected corruption; the scrubber is opt-in because its periodic
   /// verification reads change the event stream of a clean run.
   IntegrityConfig integrity;
+  /// N-tier storage hierarchy + migration policy (see TieringConfig).
+  TieringConfig tiering;
 };
 
 /// A job plus its arrival offset from workload start.
@@ -237,6 +258,10 @@ class Testbed : public FaultTarget {
   std::unique_ptr<InstantMigrationService> instant_;
   std::vector<std::unique_ptr<HotDataPromoter>> promoters_;
   std::unique_ptr<PeriodicTask> memory_sampler_;
+  /// Shared tier-migration decision object (null in the legacy layout).
+  std::unique_ptr<MigrationPolicy> tier_policy_;
+  /// Per-node DownwardOnCold ageing sweeps.
+  std::vector<std::unique_ptr<PeriodicTask>> age_tasks_;
 
   std::vector<std::unique_ptr<JobRunner>> runners_;
   std::int64_t next_job_ = 0;

@@ -10,19 +10,18 @@ namespace ignem {
 
 DataNode::DataNode(Simulator& sim, NodeId id, DeviceProfile primary_profile,
                    Bytes cache_capacity, Rng rng)
-    : sim_(sim), id_(id), cache_(cache_capacity) {
-  const std::string base = "dn" + std::to_string(id.value());
-  primary_ = std::make_unique<StorageDevice>(sim, base + "/primary",
-                                             primary_profile, rng.fork(1));
-  ram_ = std::make_unique<StorageDevice>(sim, base + "/ram", ram_profile(),
-                                         rng.fork(2));
-}
+    : DataNode(sim, id, two_tier_specs(primary_profile, cache_capacity),
+               rng) {}
 
-void DataNode::set_trace(TraceRecorder* trace) {
+DataNode::DataNode(Simulator& sim, NodeId id, std::vector<TierSpec> tiers,
+                   Rng rng)
+    : sim_(sim),
+      id_(id),
+      tiers_(sim, "dn" + std::to_string(id.value()), std::move(tiers), rng) {}
+
+void DataNode::set_trace(TraceRecorder* trace, bool emit_tier_events) {
   trace_ = trace;
-  primary_->set_trace(trace, id_);
-  ram_->set_trace(trace, id_);
-  cache_.set_trace(trace, id_);
+  tiers_.set_trace(trace, id_, emit_tier_events);
 }
 
 void DataNode::add_block(BlockId block, Bytes size) {
@@ -46,9 +45,12 @@ Bytes DataNode::block_size(BlockId block) const {
 void DataNode::remove_block(BlockId block) {
   blocks_.erase(block);
   corrupt_.erase(block);
-  // A disk read of a deleted replica can no longer finish; a RAM read of a
-  // still-cached copy is unaffected.
-  abort_pending_reads(primary_.get(), block);
+  // A disk read of a deleted replica can no longer finish; a read of a
+  // still-promoted copy is unaffected.
+  abort_pending_reads(&primary_device(), block);
+  // Victim-tier copies lost their durable parent; drop them. The tier-0
+  // copy is owned by the migration plane and purged through it.
+  if (tiers_.tier_count() > 2) purge_victim_copies(block);
 }
 
 void DataNode::corrupt_block(BlockId block) {
@@ -60,7 +62,9 @@ void DataNode::corrupt_block(BlockId block) {
 }
 
 void DataNode::corrupt_cached_copy(BlockId block) {
-  cache_.mark_corrupt(block);
+  const std::size_t serving = tiers_.serving_tier(block);
+  tiers_.pool(serving == tiers_.home_tier() ? 0 : serving)
+      .mark_corrupt(block);
 }
 
 std::vector<BlockId> DataNode::blocks_sorted() const {
@@ -87,8 +91,11 @@ void DataNode::report_corruption(BlockId block, bool cached,
 
 void DataNode::read_block(BlockId block, JobId job, ReadCallback on_complete) {
   const Bytes size = block_size(block);
-  const bool from_memory = alive_ && cache_.contains(block);
-  if (!alive_ || (disk_failed_ && !from_memory)) {
+  const std::size_t home = tiers_.home_tier();
+  const std::size_t serving = alive_ ? tiers_.serving_tier(block) : home;
+  const bool promoted = alive_ && serving != home;
+  const bool from_memory = promoted && serving == 0;
+  if (!alive_ || (disk_failed_ && !promoted)) {
     // The serving process (or its disk) is gone: fail on the next sim step
     // so the client can fall back to another replica.
     sim_.schedule(Duration::zero(), [cb = std::move(on_complete)] {
@@ -102,11 +109,13 @@ void DataNode::read_block(BlockId block, JobId job, ReadCallback on_complete) {
                  id_, block, job, size);
     trace_->emit(TraceEventType::kBlockReadStart, id_, block, job, size);
   }
-  StorageDevice& device = from_memory ? *ram_ : *primary_;
+  tiers_.note_read(serving);
+  StorageDevice& device = tiers_.device(serving);
   const SimTime start = sim_.now();
   const std::uint64_t id = next_read_++;
-  const TransferHandle handle =
-      device.read(size, [this, id, block, job, size, start, from_memory] {
+  const TransferHandle handle = device.read(
+      size, [this, id, block, job, size, start, serving, promoted,
+             from_memory] {
         const auto it = pending_reads_.find(id);
         IGNEM_CHECK(it != pending_reads_.end());
         ReadCallback cb = std::move(it->second.callback);
@@ -114,14 +123,15 @@ void DataNode::read_block(BlockId block, JobId job, ReadCallback on_complete) {
         // The checksum pass over the transferred data (the verification
         // device.cc charges no extra time for). Judged at completion so rot
         // injected mid-read is caught too.
-        const bool corrupt =
-            from_memory ? cache_.is_corrupt(block) : corrupt_.contains(block);
+        const bool corrupt = promoted
+                                 ? tiers_.pool(serving).is_corrupt(block)
+                                 : corrupt_.contains(block);
         if (corrupt) {
           if (trace_ != nullptr) {
             trace_->emit(TraceEventType::kBlockReadCorrupt, id_, block, job,
-                         size, from_memory ? 1 : 0);
+                         size, promoted ? 1 : 0);
           }
-          report_corruption(block, from_memory, CorruptionSource::kRead);
+          report_corruption(block, promoted, CorruptionSource::kRead);
           cb(BlockReadResult{sim_.now() - start, from_memory, false, true});
           return;
         }
@@ -130,6 +140,9 @@ void DataNode::read_block(BlockId block, JobId job, ReadCallback on_complete) {
           trace_->emit(TraceEventType::kBlockReadEnd, id_, block, job, size,
                        from_memory ? 1 : 0);
         }
+        // Victim-tier residency heat: the DownwardOnCold ageing tick
+        // demotes copies that stop being touched.
+        if (promoted && serving > 0) victim_touch_[block] = sim_.now();
         if (listener_ != nullptr) listener_->on_block_read(id_, block, job);
         cb(result);
       });
@@ -147,22 +160,31 @@ void DataNode::verify_block(BlockId block, ReadCallback on_complete) {
   }
   const SimTime start = sim_.now();
   const std::uint64_t id = next_read_++;
-  const TransferHandle handle = primary_->read(size, [this, id, block, size,
-                                                      start] {
-    const auto it = pending_reads_.find(id);
-    IGNEM_CHECK(it != pending_reads_.end());
-    ReadCallback cb = std::move(it->second.callback);
-    pending_reads_.erase(it);
-    const bool corrupt = corrupt_.contains(block);
-    if (trace_ != nullptr) {
-      trace_->emit(TraceEventType::kScrub, id_, block, JobId::invalid(), size,
-                   corrupt ? 1 : 0);
-    }
-    if (corrupt) report_corruption(block, false, CorruptionSource::kScrub);
-    cb(BlockReadResult{sim_.now() - start, false, false, corrupt});
-  });
-  pending_reads_.emplace(
-      id, PendingRead{primary_.get(), handle, block, std::move(on_complete)});
+  const TransferHandle handle = primary_device().read(
+      size, [this, id, block, size, start] {
+        const auto it = pending_reads_.find(id);
+        IGNEM_CHECK(it != pending_reads_.end());
+        ReadCallback cb = std::move(it->second.callback);
+        pending_reads_.erase(it);
+        const bool corrupt = corrupt_.contains(block);
+        if (trace_ != nullptr) {
+          trace_->emit(TraceEventType::kScrub, id_, block, JobId::invalid(),
+                       size, corrupt ? 1 : 0);
+        }
+        if (corrupt) report_corruption(block, false, CorruptionSource::kScrub);
+        cb(BlockReadResult{sim_.now() - start, false, false, corrupt});
+      });
+  pending_reads_.emplace(id, PendingRead{&primary_device(), handle, block,
+                                         std::move(on_complete)});
+}
+
+void DataNode::scrub_promoted_copies(BlockId block) {
+  if (!tiering_active() || !alive_) return;
+  for (std::size_t t = 0; t < tiers_.home_tier(); ++t) {
+    const BufferCache& pool = tiers_.pool(t);
+    if (!pool.contains(block) || !pool.is_corrupt(block)) continue;
+    report_corruption(block, /*cached=*/true, CorruptionSource::kScrub);
+  }
 }
 
 void DataNode::write(Bytes bytes, std::function<void()> on_complete) {
@@ -170,7 +192,102 @@ void DataNode::write(Bytes bytes, std::function<void()> on_complete) {
     sim_.schedule(Duration::zero(), std::move(on_complete));
     return;
   }
-  primary_->write(bytes, std::move(on_complete));
+  if (policy_ != nullptr && policy_->buffer_writes() &&
+      tiers_.pool(0).available() >= bytes && tiers_.pool(0).reserve(bytes)) {
+    // The burst is absorbed at fast-tier speed; the caller continues as
+    // soon as the fast write lands, while the data drains to the home
+    // tier in the background.
+    const std::uint64_t epoch = epoch_;
+    tiers_.device(0).write(bytes,
+                           [this, bytes, epoch, cb = std::move(on_complete)] {
+                             cb();
+                             if (epoch != epoch_) return;  // process died
+                             drain_to_home(bytes);
+                           });
+    return;
+  }
+  primary_device().write(bytes, std::move(on_complete));
+}
+
+void DataNode::drain_to_home(Bytes bytes) {
+  const std::uint64_t epoch = epoch_;
+  primary_device().write(bytes, [this, bytes, epoch] {
+    // A crash between the fast write and the drain completing reclaims the
+    // pool (and loses the buffered bytes); the late completion must not
+    // touch the new incarnation's reservations.
+    if (epoch != epoch_) return;
+    tiers_.pool(0).cancel_reservation(bytes);
+    tiers_.note_demote(0, tiers_.home_tier(), BlockId::invalid(), bytes);
+  });
+}
+
+bool DataNode::release_copy(BlockId block, std::size_t tier, Bytes bytes,
+                            bool allow_demote) {
+  const std::size_t home = tiers_.home_tier();
+  IGNEM_CHECK(tier < home);
+  BufferCache& pool = tiers_.pool(tier);
+  if (!pool.contains(block)) return false;
+  const bool corrupt = pool.is_corrupt(block);
+  pool.unlock(block);
+  std::size_t dst = home;
+  if (allow_demote && alive_ && !corrupt && policy_ != nullptr) {
+    dst = std::min(policy_->demotion_target(tiers_, tier), home);
+    if (dst <= tier) dst = home;
+  }
+  if (dst != home) {
+    BufferCache& lower = tiers_.pool(dst);
+    if (lower.available() >= bytes && lower.lock(block, bytes)) {
+      // Copy-out IO on the receiving device; the copy is readable there
+      // immediately (write-through victim cache).
+      tiers_.device(dst).write(bytes, [] {});
+      victim_touch_[block] = sim_.now();
+      tiers_.note_demote(tier, dst, block, bytes);
+      return true;
+    }
+    dst = home;  // no room below: plain drop
+  }
+  tiers_.note_demote(tier, home, block, bytes);
+  if (!tiers_.has_promoted_copy(block)) victim_touch_.erase(block);
+  return true;
+}
+
+bool DataNode::demote_victim(BlockId block, std::size_t from) {
+  IGNEM_CHECK(from > 0 && from < tiers_.home_tier());
+  BufferCache& pool = tiers_.pool(from);
+  if (!pool.contains(block)) return false;
+  return release_copy(block, from, pool.block_bytes(block),
+                      /*allow_demote=*/true);
+}
+
+std::size_t DataNode::age_victim_copies(Duration cold_after) {
+  if (!alive_ || policy_ == nullptr) return 0;
+  (void)cold_after;
+  std::size_t demoted = 0;
+  const SimTime now = sim_.now();
+  for (std::size_t t = 1; t < tiers_.home_tier(); ++t) {
+    for (const BlockId block : tiers_.pool(t).blocks_sorted()) {
+      const auto it = victim_touch_.find(block);
+      const Duration idle =
+          it == victim_touch_.end() ? now - SimTime() : now - it->second;
+      if (!policy_->demote_when_idle(idle)) continue;
+      if (demote_victim(block, t)) ++demoted;
+    }
+  }
+  return demoted;
+}
+
+bool DataNode::purge_victim_copies(BlockId block) {
+  bool dropped = false;
+  for (std::size_t t = 1; t < tiers_.home_tier(); ++t) {
+    BufferCache& pool = tiers_.pool(t);
+    if (!pool.contains(block)) continue;
+    const Bytes bytes = pool.block_bytes(block);
+    pool.unlock(block);
+    tiers_.note_demote(t, tiers_.home_tier(), block, bytes);
+    dropped = true;
+  }
+  if (dropped) victim_touch_.erase(block);
+  return dropped;
 }
 
 void DataNode::abort_pending_reads(const StorageDevice* device,
@@ -195,7 +312,9 @@ void DataNode::abort_pending_reads(const StorageDevice* device,
 
 void DataNode::fail() {
   alive_ = false;
-  cache_.clear();  // the OS reclaims the dead process's locked pages
+  ++epoch_;  // in-flight write-buffer drains belong to the dead process
+  tiers_.clear_pools();  // the OS reclaims the dead process's locked pages
+  victim_touch_.clear();
   abort_pending_reads(nullptr);
 }
 
@@ -203,7 +322,7 @@ void DataNode::restart() { alive_ = true; }
 
 void DataNode::set_disk_failed(bool failed) {
   disk_failed_ = failed;
-  if (failed) abort_pending_reads(primary_.get());
+  if (failed) abort_pending_reads(&primary_device());
 }
 
 }  // namespace ignem

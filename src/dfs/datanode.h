@@ -1,10 +1,15 @@
 // DataNode: per-node block storage and the read path.
 //
-// Owns the node's primary storage device (HDD or SSD, per cluster config), a
-// RAM channel for serving locked buffer-cache blocks, and the BufferCache
-// itself. The Ignem slave (core module) plugs into the DataNode via the
-// device/cache accessors and the BlockReadListener hook (used for implicit
-// eviction, §III-B2).
+// Owns the node's storage TierHierarchy — in the legacy layout a RAM
+// locked-page pool (tier 0) over the primary device (the home tier), in
+// general an ordered stack of bounded copy pools over an unbounded home
+// tier. Reads resolve through the hierarchy: the fastest tier holding a
+// copy serves the block. A MigrationPolicy (shared, owned by the Testbed)
+// decides where promoted copies land, where released copies are demoted
+// to, and whether job-output writes are buffered in the fast tier. The
+// Ignem slave (core module) plugs into the DataNode via the tier/device
+// accessors and the BlockReadListener hook (used for implicit eviction,
+// §III-B2).
 #pragma once
 
 #include <cstdint>
@@ -21,6 +26,8 @@
 #include "sim/simulator.h"
 #include "storage/buffer_cache.h"
 #include "storage/device.h"
+#include "storage/migration_policy.h"
+#include "storage/tier_hierarchy.h"
 
 namespace ignem {
 
@@ -55,8 +62,13 @@ class DataNode {
   using CorruptionReporter =
       std::function<void(NodeId, BlockId, bool, CorruptionSource)>;
 
+  /// Legacy two-tier layout: a RAM locked pool of `cache_capacity` over the
+  /// primary device. Bit-identical to the pre-TierHierarchy DataNode.
   DataNode(Simulator& sim, NodeId id, DeviceProfile primary_profile,
            Bytes cache_capacity, Rng rng);
+
+  /// General N-tier layout; `tiers` ordered fastest to home (last).
+  DataNode(Simulator& sim, NodeId id, std::vector<TierSpec> tiers, Rng rng);
 
   DataNode(const DataNode&) = delete;
   DataNode& operator=(const DataNode&) = delete;
@@ -72,7 +84,8 @@ class DataNode {
 
   /// Drops an invalidated replica from the node (NameNode decided the copy
   /// is garbage). In-flight disk reads of the block are aborted with
-  /// `failed = true`; a cached copy, if any, is untouched.
+  /// `failed = true`; a tier-0 copy, if any, is untouched (the Ignem slave
+  /// owns it), but orphaned victim-tier copies are dropped.
   void remove_block(BlockId block);
 
   /// Silent bit-rot: the stored replica's data is now bad, but nothing
@@ -80,8 +93,9 @@ class DataNode {
   /// The mark survives process restarts — rot lives on the platter.
   void corrupt_block(BlockId block);
   bool is_corrupt(BlockId block) const { return corrupt_.contains(block); }
-  /// Corrupts the locked in-memory copy instead (the disk replica stays
-  /// good). Delegates to BufferCache, so eviction discards the mark.
+  /// Corrupts the promoted in-memory/tier copy instead (the home replica
+  /// stays good). Delegates to the serving pool, so eviction discards the
+  /// mark.
   void corrupt_cached_copy(BlockId block);
 
   /// Stored block ids in ascending order, and the smallest id strictly
@@ -90,40 +104,93 @@ class DataNode {
   std::vector<BlockId> blocks_sorted() const;
   BlockId next_block_after(BlockId cursor) const;
 
-  /// Reads a block for `job`; serves from the locked pool at RAM speed when
-  /// present, otherwise from the primary device. Fires the listener after
-  /// the read completes, then the callback. On a dead node or fail-stopped
-  /// disk the callback fires asynchronously with `failed = true` (no
-  /// kBlockReadStart is emitted) so the client can retry another replica.
+  /// Reads a block for `job`; the fastest tier holding a copy serves it
+  /// (tier 0 = the locked pool at RAM speed; the home tier = the primary
+  /// device). Fires the listener after the read completes, then the
+  /// callback. On a dead node or fail-stopped disk the callback fires
+  /// asynchronously with `failed = true` (no kBlockReadStart is emitted)
+  /// so the client can retry another replica.
   void read_block(BlockId block, JobId job, ReadCallback on_complete);
 
   /// Scrubber entry point: pays a full checksum read of the stored replica
-  /// through the primary device, emits kScrub, and reports corruption like
+  /// through the home device, emits kScrub, and reports corruption like
   /// the read path does. The callback's `corrupt` flag carries the verdict.
   void verify_block(BlockId block, ReadCallback on_complete);
 
-  /// Writes `bytes` of job output through the primary device. On a dead
-  /// node or failed disk the write is lost but completes immediately, so
-  /// callers' completion barriers never hang; container-loss bookkeeping
-  /// discards the task's result anyway.
+  /// Per-tier scrub extension: checksums any promoted copy of `block` the
+  /// node holds (tier 0 and victim tiers alike) and reports cached-copy
+  /// corruption. Only active with a tier hierarchy (≥3 tiers or an
+  /// explicit policy), so legacy traces and stats are untouched.
+  void scrub_promoted_copies(BlockId block);
+
+  /// Writes `bytes` of job output. With a WriteBuffer policy and fast-tier
+  /// headroom the write lands in tier 0 at fast-tier speed (the caller's
+  /// callback fires when the burst is absorbed) and drains to the home
+  /// tier in the background; otherwise it goes straight through the home
+  /// device. On a dead node or failed disk the write is lost but completes
+  /// immediately, so callers' completion barriers never hang.
   void write(Bytes bytes, std::function<void()> on_complete);
 
-  /// Process failure: all locked memory is reclaimed by the OS; stored
-  /// blocks persist on disk. In-flight reads are aborted and their
-  /// callbacks fired with `failed = true`. `restart()` brings the process
-  /// back.
+  /// Releases the promoted copy of `block` held in pool tier `tier`
+  /// (reference list drained, purge, …). With a demoting policy and
+  /// `allow_demote`, the copy cascades to the policy's demotion target
+  /// instead of vanishing (victim-cache style); corrupt copies are always
+  /// dropped. Returns true when a copy was present.
+  bool release_copy(BlockId block, std::size_t tier, Bytes bytes,
+                    bool allow_demote);
+
+  /// Demotes the victim-tier copy of `block` in tier `from` one step down
+  /// the policy's chain (ageing). Returns true when the copy moved or was
+  /// dropped to home.
+  bool demote_victim(BlockId block, std::size_t from);
+
+  /// Ages every victim-tier copy idle since before `cold_after` ago one
+  /// tier further down. Returns the number of copies demoted or dropped.
+  std::size_t age_victim_copies(Duration cold_after);
+
+  /// Drops any victim-tier (tiers 1..home-1) copies of `block` (integrity
+  /// purge). Returns true when a copy was dropped.
+  bool purge_victim_copies(BlockId block);
+
+  /// Process failure: all locked memory in every pool tier is reclaimed by
+  /// the OS; stored blocks persist on disk. In-flight reads are aborted
+  /// and their callbacks fired with `failed = true`. `restart()` brings
+  /// the process back.
   void fail();
   void restart();
 
-  /// Disk fail-stop: the process stays up but the primary device refuses
-  /// service (in-flight disk reads fail). Locked-memory blocks still serve.
+  /// Disk fail-stop: the process stays up but the home device refuses
+  /// service (in-flight home-tier reads fail). Promoted copies still serve.
   void set_disk_failed(bool failed);
   bool disk_ok() const { return alive_ && !disk_failed_; }
 
-  StorageDevice& primary_device() { return *primary_; }
-  StorageDevice& ram_device() { return *ram_; }
-  BufferCache& cache() { return cache_; }
-  const BufferCache& cache() const { return cache_; }
+  TierHierarchy& tiers() { return tiers_; }
+  const TierHierarchy& tiers() const { return tiers_; }
+  /// Legacy accessors: the home device, the fastest device, and tier 0's
+  /// pool (the paper's locked-page cache).
+  StorageDevice& primary_device() { return tiers_.device(tiers_.home_tier()); }
+  StorageDevice& ram_device() { return tiers_.device(0); }
+  BufferCache& cache() { return tiers_.pool(0); }
+  const BufferCache& cache() const { return tiers_.pool(0); }
+  /// True when any pool tier holds a copy of `block`.
+  bool has_promoted_copy(BlockId block) const {
+    return tiers_.has_promoted_copy(block);
+  }
+
+  /// Decision object for promotion/demotion/write routing; null (the
+  /// default) behaves exactly like UpwardOnHeat — the legacy simulator.
+  void set_migration_policy(const MigrationPolicy* policy) {
+    policy_ = policy;
+  }
+  const MigrationPolicy* migration_policy() const { return policy_; }
+  /// Tier a master-commanded migration should land in (0 without policy).
+  std::size_t promotion_tier() const {
+    return policy_ == nullptr ? 0 : policy_->promotion_tier(tiers_);
+  }
+  /// True when the N-tier machinery (tier events, per-tier scrubs) is on.
+  bool tiering_active() const {
+    return policy_ != nullptr || tiers_.tier_count() > 2;
+  }
 
   void set_read_listener(BlockReadListener* listener) { listener_ = listener; }
 
@@ -135,8 +202,10 @@ class DataNode {
   void report_corruption(BlockId block, bool cached, CorruptionSource source);
 
   /// Emits kReplicaAdd, kBlockReadStart/End, and kCacheHit/Miss; also wires
-  /// the node's devices and locked pool into the same recorder.
-  void set_trace(TraceRecorder* trace);
+  /// the node's tier devices and tier-0 pool into the same recorder. With
+  /// `emit_tier_events`, kTierInit/kTierPromote/kTierDemote join the
+  /// stream (never set in the legacy two-tier configuration).
+  void set_trace(TraceRecorder* trace, bool emit_tier_events = false);
 
  private:
   /// Aborts in-flight reads (all of them, or only those on `device`, or
@@ -144,17 +213,24 @@ class DataNode {
   /// `failed = true` on the next sim step.
   void abort_pending_reads(const StorageDevice* device,
                            BlockId block = BlockId::invalid());
+  /// Background write-buffer drain: one home-device write per absorbed
+  /// burst, returning the fast-tier reservation when it lands.
+  void drain_to_home(Bytes bytes);
 
   Simulator& sim_;
   TraceRecorder* trace_ = nullptr;
   NodeId id_;
-  std::unique_ptr<StorageDevice> primary_;
-  std::unique_ptr<StorageDevice> ram_;
-  BufferCache cache_;
+  TierHierarchy tiers_;
+  const MigrationPolicy* policy_ = nullptr;
   std::unordered_map<BlockId, Bytes> blocks_;
   std::unordered_set<BlockId> corrupt_;  // stored replicas with silent rot
+  /// Last touch time of victim-tier copies (DownwardOnCold ageing).
+  std::unordered_map<BlockId, SimTime> victim_touch_;
   bool alive_ = true;
   bool disk_failed_ = false;
+  /// Bumped on fail(): in-flight drains from a previous process
+  /// incarnation must not return reservations the OS already reclaimed.
+  std::uint64_t epoch_ = 0;
   BlockReadListener* listener_ = nullptr;
   CorruptionReporter reporter_;
 

@@ -19,7 +19,7 @@ NodeId DfsClient::choose_replica(NodeId reader, BlockId block) const {
   for (const NodeId node : namenode_.live_locations(block)) {
     const DataNode* dn = namenode_.datanode(node);
     if (!dn->alive()) continue;
-    if (!dn->cache().contains(block) && !dn->disk_ok()) continue;
+    if (!dn->has_promoted_copy(block) && !dn->disk_ok()) continue;
     locations.push_back(node);
   }
   if (locations.empty()) return NodeId::invalid();
@@ -28,12 +28,12 @@ NodeId DfsClient::choose_replica(NodeId reader, BlockId block) const {
 
   // 1. Local memory-resident copy.
   if (reader_has_replica &&
-      namenode_.datanode(reader)->cache().contains(block)) {
+      namenode_.datanode(reader)->has_promoted_copy(block)) {
     return reader;
   }
   // 2. Any memory-resident copy (remote RAM + network beats local disk).
   for (const NodeId node : locations) {
-    if (namenode_.datanode(node)->cache().contains(block)) return node;
+    if (namenode_.datanode(node)->has_promoted_copy(block)) return node;
   }
   // 3. Local disk.
   if (reader_has_replica) return reader;
@@ -159,7 +159,7 @@ std::vector<NodeId> DfsClient::preferred_locations(BlockId block) const {
   std::vector<NodeId> locations = namenode_.live_locations(block);
   std::stable_partition(locations.begin(), locations.end(),
                         [this, block](NodeId node) {
-                          return namenode_.datanode(node)->cache().contains(block);
+                          return namenode_.datanode(node)->has_promoted_copy(block);
                         });
   return locations;
 }

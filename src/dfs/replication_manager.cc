@@ -82,7 +82,7 @@ void ReplicationManager::repair(BlockId block) {
   for (const NodeId node : live) {
     const DataNode* dn = namenode_.datanode(node);
     if (!dn->alive()) continue;
-    if (!dn->cache().contains(block) && !dn->disk_ok()) continue;
+    if (!dn->has_promoted_copy(block) && !dn->disk_ok()) continue;
     sources.push_back(node);
   }
   if (sources.empty()) {

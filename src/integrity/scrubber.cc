@@ -35,6 +35,10 @@ void Scrubber::tick(std::size_t index) {
   if (!next.valid()) return;  // node holds no blocks
   cursors_[index] = next;
   ++stats_.blocks_scanned;
+  // With a tier hierarchy, promoted copies rot independently of the stored
+  // replica; checksum them in the same pass (free in legacy mode — the
+  // check is gated inside the DataNode, so traces and stats are untouched).
+  dn->scrub_promoted_copies(next);
   dn->verify_block(next, [this](const BlockReadResult& result) {
     if (result.corrupt) ++stats_.corrupt_found;
   });

@@ -3,6 +3,8 @@
 
 #include <ostream>
 
+#include "integrity/integrity_manager.h"
+#include "integrity/scrubber.h"
 #include "metrics/run_metrics.h"
 
 namespace ignem {
@@ -18,5 +20,17 @@ void write_jobs_csv(const RunMetrics& metrics, std::ostream& os);
 
 /// node,when_s,locked_bytes
 void write_memory_samples_csv(const RunMetrics& metrics, std::ostream& os);
+
+/// node,when_s,tier,used_bytes,capacity_bytes,occupancy,reads,promotes_in,
+/// demotes_in — per-tier occupancy and cumulative counters (N-tier runs;
+/// empty body in the legacy layout). The home tier reports occupancy 0.
+void write_tier_samples_csv(const RunMetrics& metrics, std::ostream& os);
+
+/// One-row summary of the data-integrity plane:
+/// disk_corrupt_detected,cache_corrupt_detected,cache_copies_purged,
+/// blocks_scanned,scrub_corrupt_found. Pass a default ScrubberStats when
+/// the scrubber was disabled.
+void write_integrity_csv(const IntegrityStats& integrity,
+                         const ScrubberStats& scrubber, std::ostream& os);
 
 }  // namespace ignem

@@ -55,6 +55,7 @@ void RunMetrics::clear() {
   tasks_.clear();
   jobs_.clear();
   memory_samples_.clear();
+  tier_samples_.clear();
 }
 
 }  // namespace ignem

@@ -355,6 +355,103 @@ void HotPromotionRule::check(const TraceEvent& event,
 
 // ---------------------------------------------------------------------------
 
+void TierResidencyRule::check(const TraceEvent& event,
+                              std::vector<InvariantViolation>& out) {
+  switch (event.type) {
+    case TraceEventType::kTierInit: {
+      const std::size_t tier = static_cast<std::size_t>(event.detail);
+      capacity_[{event.node, tier}] = event.bytes;
+      auto [it, inserted] = home_.try_emplace(event.node, tier);
+      if (!inserted && tier > it->second) it->second = tier;
+      return;
+    }
+    case TraceEventType::kFaultNodeCrash:
+      // The OS reclaims every pool on the node.
+      std::erase_if(residency_,
+                    [&](const auto& e) { return e.first.first == event.node; });
+      for (auto& [key, used] : occupancy_) {
+        if (key.first == event.node) used = 0;
+      }
+      return;
+    case TraceEventType::kTierPromote:
+    case TraceEventType::kTierDemote:
+      break;
+    default:
+      return;
+  }
+  if (!event.block.valid()) return;  // byte-level write-buffer drain
+  const std::size_t from = static_cast<std::size_t>(event.detail >> 8);
+  const std::size_t to = static_cast<std::size_t>(event.detail & 0xff);
+  const auto home_it = home_.find(event.node);
+  const std::size_t home =
+      home_it == home_.end() ? std::size_t{0} : home_it->second;
+  const auto key = std::make_pair(event.node, event.block);
+  const auto res = residency_.find(key);
+
+  const auto leave = [&](std::size_t tier, Bytes bytes) {
+    auto& used = occupancy_[{event.node, tier}];
+    used = used >= bytes ? used - bytes : 0;
+  };
+  const auto arrive = [&](std::size_t tier) {
+    const Bytes used = occupancy_[{event.node, tier}] += event.bytes;
+    const auto cap = capacity_.find({event.node, tier});
+    if (cap != capacity_.end() && cap->second > 0 && used > cap->second) {
+      std::ostringstream os;
+      os << "tier " << tier << " on node " << event.node << " holds " << used
+         << " bytes, over its capacity of " << cap->second;
+      violate(event, os.str(), out);
+    }
+  };
+
+  if (event.type == TraceEventType::kTierPromote) {
+    if (to >= from) {
+      violate(event, "promote does not move the copy to a faster tier", out);
+      return;
+    }
+    if (res != residency_.end() && res->second.first != from) {
+      std::ostringstream os;
+      os << "block " << event.block << " promoted from tier " << from
+         << " but its copy on node " << event.node << " lives in tier "
+         << res->second.first;
+      violate(event, os.str(), out);
+    } else if (res == residency_.end() && from != home) {
+      std::ostringstream os;
+      os << "block " << event.block << " promoted from pool tier " << from
+         << " on node " << event.node << " where it holds no copy";
+      violate(event, os.str(), out);
+    }
+    if (res != residency_.end()) leave(res->second.first, res->second.second);
+    residency_[key] = {to, event.bytes};
+    arrive(to);
+    return;
+  }
+
+  // kTierDemote.
+  if (to <= from) {
+    violate(event, "demote does not move the copy to a slower tier", out);
+    return;
+  }
+  if (res == residency_.end() || res->second.first != from) {
+    std::ostringstream os;
+    os << "block " << event.block << " demoted from tier " << from
+       << " on node " << event.node << " but its copy lives in "
+       << (res == residency_.end() ? std::string("no pool tier")
+                                   : "tier " + std::to_string(
+                                                   res->second.first));
+    violate(event, os.str(), out);
+  }
+  if (res != residency_.end()) {
+    leave(res->second.first, res->second.second);
+    residency_.erase(res);
+  }
+  if (to < home) {
+    residency_[key] = {to, event.bytes};
+    arrive(to);
+  }
+}
+
+// ---------------------------------------------------------------------------
+
 InvariantChecker::InvariantChecker(bool install_default_rules) {
   if (!install_default_rules) return;
   add_rule(std::make_unique<MonotoneTimeRule>());
@@ -369,6 +466,7 @@ InvariantChecker::InvariantChecker(bool install_default_rules) {
   add_rule(std::make_unique<HotPromotionRule>());
   add_rule(std::make_unique<NodeDownRule>());
   add_rule(std::make_unique<CorruptReadRule>());
+  add_rule(std::make_unique<TierResidencyRule>());
 }
 
 void InvariantChecker::add_rule(std::unique_ptr<InvariantRule> rule) {

@@ -26,6 +26,10 @@
 //                             completes cleanly from it, no migration
 //                             commits it to memory, and no repair sources
 //                             from a NameNode-marked replica
+//   TierResidencyRule         a block holds at most one pool-tier copy per
+//                             node, tier moves come from the tier the copy
+//                             is resident in, and per-tier occupancy never
+//                             exceeds the kTierInit capacity
 //
 // Violations are collected, not thrown: a run can finish and report every
 // breach, and tests can assert that crafted violating streams fire the
@@ -185,6 +189,28 @@ class HotPromotionRule : public InvariantRule {
 
  private:
   std::map<std::pair<NodeId, BlockId>, std::int64_t> reads_;
+};
+
+/// Tier hierarchy (armed runs only — the legacy two-tier configuration
+/// emits no kTier* events): a block holds at most one pool-tier copy per
+/// node, every kTierPromote/kTierDemote moves the copy from the tier it is
+/// actually resident in, and per-tier occupancy derived from those moves
+/// never exceeds the capacity announced by kTierInit. Byte-level
+/// write-buffer drains (invalid block id) and node crashes (the OS
+/// reclaims every pool) clear state rather than count against it.
+class TierResidencyRule : public InvariantRule {
+ public:
+  const char* name() const override { return "tier_residency"; }
+  void check(const TraceEvent& event,
+             std::vector<InvariantViolation>& out) override;
+
+ private:
+  /// Pool tier currently holding each (node, block) copy, with its size.
+  std::map<std::pair<NodeId, BlockId>, std::pair<std::size_t, Bytes>>
+      residency_;
+  std::map<std::pair<NodeId, std::size_t>, Bytes> capacity_;
+  std::map<std::pair<NodeId, std::size_t>, Bytes> occupancy_;
+  std::map<NodeId, std::size_t> home_;  ///< Highest tier index announced.
 };
 
 class InvariantChecker : public TraceObserver {

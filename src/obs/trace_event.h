@@ -98,6 +98,16 @@ enum class TraceEventType : std::uint8_t {
                         ///< 1 scrub, 2 migration), value = 1 if cached copy.
   kReplicaInvalidate,   ///< NameNode dropped a corrupt replica from the
                         ///< namespace; bytes = block size.
+  // Tier hierarchy (src/storage). Emitted only when tier events are armed
+  // (≥3 tiers or a non-legacy policy), so legacy two-tier trace hashes are
+  // unaffected.
+  kTierInit,            ///< one per tier at wiring; bytes = capacity
+                        ///< (0 = unbounded home tier), detail = tier index.
+  kTierPromote,         ///< copy moved to a faster tier; bytes = copy size,
+                        ///< detail = (from tier << 8) | to tier.
+  kTierDemote,          ///< copy moved down (or dropped when the target is
+                        ///< the home tier); invalid block = byte-level
+                        ///< write-buffer drain; detail as kTierPromote.
   kCount              ///< Sentinel; not a real event.
 };
 

@@ -1,0 +1,27 @@
+#include "storage/migration_policy.h"
+
+namespace ignem {
+
+const char* tier_policy_name(TierPolicyKind kind) {
+  switch (kind) {
+    case TierPolicyKind::kUpwardOnHeat: return "upward-on-heat";
+    case TierPolicyKind::kDownwardOnCold: return "downward-on-cold";
+    case TierPolicyKind::kWriteBuffer: return "write-buffer";
+  }
+  return "?";
+}
+
+std::unique_ptr<MigrationPolicy> make_tier_policy(TierPolicyKind kind,
+                                                  Duration cold_after) {
+  switch (kind) {
+    case TierPolicyKind::kUpwardOnHeat:
+      return std::make_unique<UpwardOnHeatPolicy>();
+    case TierPolicyKind::kDownwardOnCold:
+      return std::make_unique<DownwardOnColdPolicy>(cold_after);
+    case TierPolicyKind::kWriteBuffer:
+      return std::make_unique<WriteBufferPolicy>();
+  }
+  return std::make_unique<UpwardOnHeatPolicy>();
+}
+
+}  // namespace ignem

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "core/testbed.h"
 
 namespace ignem {
 
@@ -106,6 +107,41 @@ GoogleTrace generate_google_trace(const GoogleTraceConfig& config) {
     trace.jobs.push_back(std::move(job));
   }
   return trace;
+}
+
+std::vector<ScheduledJob> build_google_testbed_workload(
+    Testbed& testbed, const GoogleTestbedConfig& config) {
+  GoogleTrace trace = generate_google_trace(config.trace);
+  // Trace jobs are generated in submission order already, but sort defensively
+  // so arrival offsets are monotone whatever the generator does.
+  std::sort(trace.jobs.begin(), trace.jobs.end(),
+            [](const TraceJob& a, const TraceJob& b) {
+              return a.submit < b.submit;
+            });
+  std::vector<ScheduledJob> out;
+  out.reserve(trace.jobs.size());
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    const TraceJob& job = trace.jobs[i];
+    Duration io_total = Duration::zero();
+    for (const TraceTask& task : job.tasks) io_total += task.io_time;
+    const Bytes input = std::clamp(
+        transfer_bytes(io_total, config.bytes_per_io_second),
+        config.min_input, config.max_input);
+    const FileId file = testbed.create_file(
+        "/google/input-" + std::to_string(i), input);
+    ScheduledJob scheduled;
+    scheduled.arrival = job.submit - SimTime::zero();
+    scheduled.spec.name = "google-" + std::to_string(i);
+    scheduled.spec.inputs = {file};
+    // The trace's CPU-bound majority: compute dominates unless the job sits
+    // in the IO-heavy minority, whose large input makes it read-dominated.
+    scheduled.spec.compute.map_cpu_secs_per_mib = 0.004;
+    scheduled.spec.compute.map_output_ratio = 0.05;
+    scheduled.spec.compute.output_ratio = 0.02;
+    scheduled.spec.compute.reduce_tasks = 1;
+    out.push_back(std::move(scheduled));
+  }
+  return out;
 }
 
 }  // namespace ignem

@@ -59,4 +59,23 @@ struct GoogleTrace {
 /// Deterministically synthesizes a trace with the configured marginals.
 GoogleTrace generate_google_trace(const GoogleTraceConfig& config);
 
+class Testbed;
+struct ScheduledJob;
+
+/// Materializes a synthesized Google trace as a testbed workload: each
+/// TraceJob becomes one MapReduce job whose input size is its total disk-IO
+/// time at `bytes_per_io_second`, arriving at its trace submission time.
+/// This is the §II analysis turned back into a drivable workload, so the
+/// Google-shaped job mix (CPU-heavy mass, IO-heavy minority) exercises the
+/// cluster alongside SWIM in regression configs.
+struct GoogleTestbedConfig {
+  GoogleTraceConfig trace;
+  Bandwidth bytes_per_io_second = mib_per_sec(100);
+  Bytes min_input = 1 * kMiB;    ///< CPU-only jobs still read something.
+  Bytes max_input = 2 * kGiB;    ///< Keeps a tail job from dwarfing the run.
+};
+
+std::vector<ScheduledJob> build_google_testbed_workload(
+    Testbed& testbed, const GoogleTestbedConfig& config);
+
 }  // namespace ignem

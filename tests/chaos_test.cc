@@ -38,6 +38,10 @@ struct ChaosOptions {
   std::size_t fault_count = 6;
   std::uint64_t plan_seed_base = 9000;
   bool scrubber = false;
+  /// Swaps the legacy layout for a three-tier DownwardOnCold hierarchy, so
+  /// crashes, reroutes, and purges race victim-tier copies and the ageing
+  /// sweep (TierResidencyRule watches the whole run).
+  bool tiered = false;
 };
 
 ChaosResult run_chaos(RunMode mode, std::uint64_t seed,
@@ -52,6 +56,13 @@ ChaosResult run_chaos(RunMode mode, std::uint64_t seed,
   config.check_invariants = true;
   config.integrity.enable_scrubber = options.scrubber;
   config.integrity.scrub_interval = Duration::seconds(5);
+  if (options.tiered) {
+    config.tiering.tiers = {ram_tier(1 * kGiB), ssd_tier(2 * kGiB),
+                            hdd_home_tier()};
+    config.tiering.policy = TierPolicyKind::kDownwardOnCold;
+    config.tiering.cold_after = Duration::seconds(3.0);
+    config.tiering.age_check_period = Duration::seconds(1.0);
+  }
   Testbed testbed(config);
 
   SwimConfig swim;
@@ -166,6 +177,35 @@ TEST(Chaos, CorruptionChaosSweepHdfs) {
   constexpr std::size_t kSeeds = 6;
   const auto results = bench::run_indexed_sweep(kSeeds, [](std::size_t i) {
     return run_chaos(RunMode::kHdfs, i, corruption_options());
+  });
+  for (const ChaosResult& result : results) expect_clean(result, 12u);
+}
+
+TEST(Chaos, TieredFaultSweepIgnem) {
+  // The loud fault schedule against the three-tier hierarchy: crashes land
+  // while copies sit in the victim tier or mid-cascade, rejoin purges must
+  // drop (never demote) stale copies, and the residency/occupancy
+  // invariants have to hold through every recovery.
+  constexpr std::size_t kSeeds = 10;
+  const auto results = bench::run_indexed_sweep(kSeeds, [](std::size_t i) {
+    ChaosOptions options;
+    options.plan_seed_base = 15000;
+    options.tiered = true;
+    return run_chaos(RunMode::kIgnem, i, options);
+  });
+  for (const ChaosResult& result : results) expect_clean(result, 12u);
+}
+
+TEST(Chaos, TieredCorruptionChaosSweepIgnem) {
+  // Silent rot on top: corrupt victim-tier copies must be dropped on
+  // release instead of cascading, the per-tier scrub must find what the
+  // read path misses, and integrity accounting still closes exactly.
+  constexpr std::size_t kSeeds = 6;
+  const auto results = bench::run_indexed_sweep(kSeeds, [](std::size_t i) {
+    ChaosOptions options = corruption_options();
+    options.plan_seed_base = 18000;
+    options.tiered = true;
+    return run_chaos(RunMode::kIgnem, i, options);
   });
   for (const ChaosResult& result : results) expect_clean(result, 12u);
 }

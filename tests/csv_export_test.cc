@@ -46,6 +46,17 @@ RunMetrics sample_metrics() {
   sample.when = SimTime(5'000'000);
   sample.locked_bytes = 42;
   metrics.add_memory_sample(sample);
+
+  TierSample tier;
+  tier.node = NodeId(1);
+  tier.when = SimTime(6'000'000);
+  tier.tier = 0;
+  tier.used = 50;
+  tier.capacity = 200;
+  tier.reads = 9;
+  tier.promotes_in = 4;
+  tier.demotes_in = 2;
+  metrics.add_tier_sample(tier);
   return metrics;
 }
 
@@ -90,6 +101,42 @@ TEST(CsvExport, MemorySamples) {
   EXPECT_NE(out.find("0,5,42"), std::string::npos);
 }
 
+TEST(CsvExport, TierSamples) {
+  std::ostringstream os;
+  write_tier_samples_csv(sample_metrics(), os);
+  const std::string out = os.str();
+  EXPECT_EQ(line_count(out), 2u);
+  EXPECT_NE(out.find("node,when_s,tier,used_bytes,capacity_bytes,occupancy,"
+                     "reads,promotes_in,demotes_in"),
+            std::string::npos);
+  EXPECT_NE(out.find("1,6,0,50,200,0.25,9,4,2"), std::string::npos);
+}
+
+TEST(CsvExport, IntegritySummary) {
+  IntegrityStats integrity;
+  integrity.disk_corrupt_detected = 3;
+  integrity.cache_corrupt_detected = 1;
+  integrity.cache_copies_purged = 1;
+  ScrubberStats scrubber;
+  scrubber.blocks_scanned = 120;
+  scrubber.corrupt_found = 2;
+  std::ostringstream os;
+  write_integrity_csv(integrity, scrubber, os);
+  const std::string out = os.str();
+  EXPECT_EQ(line_count(out), 2u);
+  EXPECT_NE(out.find("disk_corrupt_detected,cache_corrupt_detected,"
+                     "cache_copies_purged,blocks_scanned,scrub_corrupt_found"),
+            std::string::npos);
+  EXPECT_NE(out.find("3,1,1,120,2"), std::string::npos);
+}
+
+TEST(CsvExport, DisabledScrubberExportsZeros) {
+  IntegrityStats integrity;
+  std::ostringstream os;
+  write_integrity_csv(integrity, ScrubberStats{}, os);
+  EXPECT_NE(os.str().find("0,0,0,0,0"), std::string::npos);
+}
+
 TEST(CsvExport, EmptyMetricsWriteHeadersOnly) {
   RunMetrics empty;
   std::ostringstream os;
@@ -97,7 +144,8 @@ TEST(CsvExport, EmptyMetricsWriteHeadersOnly) {
   write_tasks_csv(empty, os);
   write_jobs_csv(empty, os);
   write_memory_samples_csv(empty, os);
-  EXPECT_EQ(line_count(os.str()), 4u);
+  write_tier_samples_csv(empty, os);
+  EXPECT_EQ(line_count(os.str()), 5u);
 }
 
 }  // namespace

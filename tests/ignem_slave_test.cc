@@ -21,7 +21,7 @@ class FakeLiveness : public JobLivenessOracle {
 class IgnemSlaveTest : public ::testing::Test {
  protected:
   void build(Bytes capacity = 1 * kGiB,
-             MigrationPolicy policy = MigrationPolicy::kSmallestJobFirst) {
+             QueueOrder policy = QueueOrder::kSmallestJobFirst) {
     DeviceProfile profile = hdd_profile();
     profile.access_jitter = 0.0;
     datanode_ =

@@ -20,6 +20,7 @@
 #include <iostream>
 
 #include "core/testbed.h"
+#include "workload/google_trace.h"
 #include "workload/swim.h"
 
 namespace ignem {
@@ -54,6 +55,23 @@ std::uint64_t run_pinned(RunMode mode) {
   return testbed.trace_hash();
 }
 
+// A scaled-down Google-trace workload (few servers, short horizon) so the
+// pinned run stays fast while still mixing CPU-bound and IO-heavy jobs.
+GoogleTestbedConfig pinned_google() {
+  GoogleTestbedConfig config;
+  config.trace.server_count = 8;
+  config.trace.horizon = Duration::minutes(30);
+  config.trace.tasks_per_server = 2.0;
+  config.trace.seed = 42;
+  return config;
+}
+
+std::uint64_t run_pinned_google(RunMode mode) {
+  Testbed testbed(pinned_config(mode));
+  testbed.run_workload(build_google_testbed_workload(testbed, pinned_google()));
+  return testbed.trace_hash();
+}
+
 struct PinnedCase {
   RunMode mode;
   std::uint64_t hash;
@@ -70,6 +88,13 @@ constexpr PinnedCase kPinned[] = {
     {RunMode::kHotDataPromotion, 1039804277472788736ull},
 };
 
+// Captured on the pre-TierHierarchy storage layer; the two-tier hierarchy
+// must reproduce these bit-identically (the PR 6 differential anchor).
+constexpr PinnedCase kPinnedGoogle[] = {
+    {RunMode::kHdfs, 7154479743890652874ull},
+    {RunMode::kIgnem, 13950215267833423977ull},
+};
+
 TEST(KernelRegression, TraceHashesMatchPreRewriteKernel) {
   const char* print = std::getenv("IGNEM_PRINT_KERNEL_HASHES");
   for (const PinnedCase& c : kPinned) {
@@ -82,6 +107,57 @@ TEST(KernelRegression, TraceHashesMatchPreRewriteKernel) {
     EXPECT_EQ(fresh, c.hash)
         << run_mode_name(c.mode)
         << ": trace diverged from the pre-rewrite kernel";
+  }
+}
+
+TEST(KernelRegression, GoogleTraceHashesMatchPreTieringStorage) {
+  const char* print = std::getenv("IGNEM_PRINT_KERNEL_HASHES");
+  for (const PinnedCase& c : kPinnedGoogle) {
+    const std::uint64_t fresh = run_pinned_google(c.mode);
+    if (print != nullptr && *print == '1') {
+      std::cout << "    google {RunMode::k" << run_mode_name(c.mode) << ", "
+                << fresh << "ull},\n";
+      continue;
+    }
+    EXPECT_EQ(fresh, c.hash)
+        << run_mode_name(c.mode)
+        << ": Google-trace run diverged from the pre-tiering storage layer";
+  }
+}
+
+// The differential contract of the TierHierarchy refactor: spelling the
+// legacy layout out as an explicit two-tier stack (RAM pool over the
+// primary device, UpwardOnHeat policy) must route every byte through the
+// generalized tier machinery and still reproduce the pinned pre-refactor
+// hashes bit for bit — same events, same order, same times.
+TestbedConfig explicit_two_tier(TestbedConfig config) {
+  config.tiering.tiers = two_tier_specs(
+      config.primary_profile.value_or(profile_for(config.storage_media)),
+      config.cache_capacity_per_node);
+  config.tiering.policy = TierPolicyKind::kUpwardOnHeat;
+  return config;
+}
+
+TEST(KernelRegression, ExplicitTwoTierSwimMatchesPinnedHashes) {
+  for (const PinnedCase& c : kPinned) {
+    Testbed testbed(explicit_two_tier(pinned_config(c.mode)));
+    testbed.run_workload(build_swim_workload(testbed, pinned_swim()));
+    EXPECT_EQ(testbed.trace_hash(), c.hash)
+        << run_mode_name(c.mode)
+        << ": explicit two-tier TierHierarchy diverged from the legacy "
+           "storage layout on the SWIM workload";
+  }
+}
+
+TEST(KernelRegression, ExplicitTwoTierGoogleMatchesPinnedHashes) {
+  for (const PinnedCase& c : kPinnedGoogle) {
+    Testbed testbed(explicit_two_tier(pinned_config(c.mode)));
+    testbed.run_workload(
+        build_google_testbed_workload(testbed, pinned_google()));
+    EXPECT_EQ(testbed.trace_hash(), c.hash)
+        << run_mode_name(c.mode)
+        << ": explicit two-tier TierHierarchy diverged from the legacy "
+           "storage layout on the Google trace";
   }
 }
 

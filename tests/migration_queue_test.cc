@@ -19,7 +19,7 @@ PendingMigration make(std::int64_t block, std::int64_t job, Bytes job_input,
 }
 
 TEST(MigrationQueue, SmallestJobFirst) {
-  MigrationQueue q(MigrationPolicy::kSmallestJobFirst);
+  MigrationQueue q(QueueOrder::kSmallestJobFirst);
   q.push(make(1, 1, 10 * kGiB, 1));
   q.push(make(2, 2, 1 * kMiB, 2));
   q.push(make(3, 3, 1 * kGiB, 3));
@@ -30,7 +30,7 @@ TEST(MigrationQueue, SmallestJobFirst) {
 }
 
 TEST(MigrationQueue, SubmissionOrderBreaksTies) {
-  MigrationQueue q(MigrationPolicy::kSmallestJobFirst);
+  MigrationQueue q(QueueOrder::kSmallestJobFirst);
   q.push(make(1, 5, 1 * kGiB, 10));
   q.push(make(2, 6, 1 * kGiB, 5));  // same input size, earlier submission
   EXPECT_EQ(q.pop()->job, JobId(6));
@@ -38,7 +38,7 @@ TEST(MigrationQueue, SubmissionOrderBreaksTies) {
 }
 
 TEST(MigrationQueue, FifoIgnoresJobSize) {
-  MigrationQueue q(MigrationPolicy::kFifo);
+  MigrationQueue q(QueueOrder::kFifo);
   q.push(make(1, 1, 10 * kGiB, 1));
   q.push(make(2, 2, 1 * kMiB, 2));
   EXPECT_EQ(q.pop()->job, JobId(1));
@@ -46,7 +46,7 @@ TEST(MigrationQueue, FifoIgnoresJobSize) {
 }
 
 TEST(MigrationQueue, BlocksOfOneJobKeepArrivalOrder) {
-  MigrationQueue q(MigrationPolicy::kSmallestJobFirst);
+  MigrationQueue q(QueueOrder::kSmallestJobFirst);
   q.push(make(3, 1, 1 * kGiB, 3));
   q.push(make(1, 1, 1 * kGiB, 1));
   q.push(make(2, 1, 1 * kGiB, 2));
@@ -56,16 +56,16 @@ TEST(MigrationQueue, BlocksOfOneJobKeepArrivalOrder) {
 }
 
 TEST(MigrationQueue, PeekDoesNotRemove) {
-  MigrationQueue q(MigrationPolicy::kFifo);
+  MigrationQueue q(QueueOrder::kFifo);
   q.push(make(1, 1, 1, 1));
   ASSERT_NE(q.peek(), nullptr);
   EXPECT_EQ(q.peek()->block, BlockId(1));
   EXPECT_EQ(q.size(), 1u);
-  EXPECT_EQ(MigrationQueue(MigrationPolicy::kFifo).peek(), nullptr);
+  EXPECT_EQ(MigrationQueue(QueueOrder::kFifo).peek(), nullptr);
 }
 
 TEST(MigrationQueue, EraseJobRemovesAllItsEntries) {
-  MigrationQueue q(MigrationPolicy::kFifo);
+  MigrationQueue q(QueueOrder::kFifo);
   q.push(make(1, 1, 1, 1));
   q.push(make(2, 1, 1, 2));
   q.push(make(3, 2, 1, 3));
@@ -76,7 +76,7 @@ TEST(MigrationQueue, EraseJobRemovesAllItsEntries) {
 }
 
 TEST(MigrationQueue, EraseBlockRemovesAllJobsEntries) {
-  MigrationQueue q(MigrationPolicy::kFifo);
+  MigrationQueue q(QueueOrder::kFifo);
   q.push(make(1, 1, 1, 1));
   q.push(make(1, 2, 1, 2));  // two jobs want block 1
   q.push(make(2, 1, 1, 3));
@@ -86,7 +86,7 @@ TEST(MigrationQueue, EraseBlockRemovesAllJobsEntries) {
 }
 
 TEST(MigrationQueue, EraseSpecificEntry) {
-  MigrationQueue q(MigrationPolicy::kFifo);
+  MigrationQueue q(QueueOrder::kFifo);
   q.push(make(1, 1, 1, 1));
   q.push(make(1, 2, 1, 2));
   EXPECT_TRUE(q.erase(BlockId(1), JobId(1)));
@@ -95,7 +95,7 @@ TEST(MigrationQueue, EraseSpecificEntry) {
 }
 
 TEST(MigrationQueue, DuplicateEntryIgnored) {
-  MigrationQueue q(MigrationPolicy::kFifo);
+  MigrationQueue q(QueueOrder::kFifo);
   q.push(make(1, 1, 1, 1));
   q.push(make(1, 1, 1, 1));
   EXPECT_EQ(q.size(), 1u);
@@ -104,7 +104,7 @@ TEST(MigrationQueue, DuplicateEntryIgnored) {
 }
 
 TEST(MigrationQueue, LargestJobFirst) {
-  MigrationQueue q(MigrationPolicy::kLargestJobFirst);
+  MigrationQueue q(QueueOrder::kLargestJobFirst);
   q.push(make(1, 1, 10 * kGiB, 1));
   q.push(make(2, 2, 1 * kMiB, 2));
   q.push(make(3, 3, 1 * kGiB, 3));
@@ -114,7 +114,7 @@ TEST(MigrationQueue, LargestJobFirst) {
 }
 
 TEST(MigrationQueue, LifoPrefersNewest) {
-  MigrationQueue q(MigrationPolicy::kLifo);
+  MigrationQueue q(QueueOrder::kLifo);
   q.push(make(1, 1, 1, 1));
   q.push(make(2, 2, 1, 2));
   q.push(make(3, 3, 1, 3));
@@ -124,16 +124,16 @@ TEST(MigrationQueue, LifoPrefersNewest) {
 }
 
 TEST(MigrationQueue, PolicyNames) {
-  EXPECT_STREQ(migration_policy_name(MigrationPolicy::kSmallestJobFirst),
+  EXPECT_STREQ(queue_order_name(QueueOrder::kSmallestJobFirst),
                "smallest-job-first");
-  EXPECT_STREQ(migration_policy_name(MigrationPolicy::kFifo), "fifo");
-  EXPECT_STREQ(migration_policy_name(MigrationPolicy::kLargestJobFirst),
+  EXPECT_STREQ(queue_order_name(QueueOrder::kFifo), "fifo");
+  EXPECT_STREQ(queue_order_name(QueueOrder::kLargestJobFirst),
                "largest-job-first");
-  EXPECT_STREQ(migration_policy_name(MigrationPolicy::kLifo), "lifo");
+  EXPECT_STREQ(queue_order_name(QueueOrder::kLifo), "lifo");
 }
 
 TEST(MigrationQueue, RejectsInvalidEntries) {
-  MigrationQueue q(MigrationPolicy::kFifo);
+  MigrationQueue q(QueueOrder::kFifo);
   PendingMigration m = make(1, 1, 1, 1);
   m.bytes = 0;
   EXPECT_THROW(q.push(m), CheckFailure);
