@@ -4,6 +4,7 @@
 // Paper: HDFS 14.4 s; Ignem 12.7 s (12% speedup); RAM 11.4 s (21%). Ignem
 // realizes ~60% of the upper-bound benefit.
 #include "bench/experiment_common.h"
+#include "metrics/csv_export.h"
 
 namespace ignem::bench {
 namespace {
@@ -33,6 +34,21 @@ void main_impl() {
   std::cout << "Ignem realizes "
             << TextTable::percent(speedup(hdfs, ignem) / speedup(hdfs, ram))
             << " of the upper-bound benefit (paper: ~60%)\n";
+
+  // Hardware cost of the modeled per-node hierarchy — the denominator of
+  // the paper's "speedup without buying more RAM" argument.
+  const std::vector<TierSpec> tiers = runs[1]->tier_specs();
+  const double node_cost = tier_cost_total(tiers);
+  report().metric("tier_cost_per_node", node_cost);
+  std::cout << "Per-node tier cost (capacity x $/GiB):";
+  for (const TierSpec& tier : tiers) {
+    std::cout << "  " << tier.name << " "
+              << TextTable::fixed(
+                     tier.cost_per_gib *
+                         (static_cast<double>(tier.capacity) / kGiB),
+                     2);
+  }
+  std::cout << "  total " << TextTable::fixed(node_cost, 2) << "\n";
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #   scripts/check.sh            # sanitized build + all tests
 #   scripts/check.sh tier1      # sanitized build + fast tier only
 #   scripts/check.sh tiering    # N-tier hierarchy / migration-policy suite
+#   scripts/check.sh kernel     # event-queue differential + fuzz suite
 #
 # Uses a dedicated build directory (build-check) so the regular build stays
 # untouched. See docs/TRACING.md for the determinism/invariant suites this

@@ -32,14 +32,18 @@ for ((i = 1; i <= RUNS; ++i)); do
   mv "$WORK/BENCH_microkernel.json" "$WORK/result$i.json"
 done
 
+# Keep one run's full report next to the build for CI artifact upload.
+cp "$WORK/result1.json" "$BUILD_DIR/BENCH_microkernel.json"
+
 python3 - "$BASELINE" "$WORK" "$RUNS" <<'EOF'
 import json, sys
 
 baseline_path, work, runs = sys.argv[1], sys.argv[2], int(sys.argv[3])
 baseline = json.load(open(baseline_path))
 
-GATED = ["event_churn_new_ops_per_sec", "dispatch_events_per_sec",
-         "event_churn_speedup"]
+GATED = ["event_churn_new_ops_per_sec", "event_churn_heap_ops_per_sec",
+         "dispatch_events_per_sec", "event_churn_speedup",
+         "event_churn_ladder_vs_heap", "bw_churn_epoch_vs_per_op"]
 TOLERANCE = 0.25
 
 best = {}

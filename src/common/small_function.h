@@ -16,7 +16,7 @@
 // rejects. Thread safety matches the simulator's contract: a SmallFunction
 // is created, invoked, and destroyed on one thread. Distinct threads (the
 // bench sweep runner fans one Testbed per worker) each get their own slab
-// free list, so cross-thread sweeps need no locking.
+// pool, so cross-thread sweeps need no locking.
 #pragma once
 
 #include <cstddef>
@@ -24,7 +24,8 @@
 #include <new>
 #include <type_traits>
 #include <utility>
-#include <vector>
+
+#include "common/slab_pool.h"
 
 namespace ignem {
 
@@ -32,54 +33,25 @@ namespace detail {
 
 /// Spill blocks come in one fixed size: large enough for every capture the
 /// stack produces today, small enough to recycle without size classes.
-/// Callables larger still fall through to plain operator new.
+/// Callables larger still fall through to plain operator new. The pool
+/// carves blocks from chunks and recycles them forever (SlabPool), so a
+/// spill-heavy steady state performs zero heap calls — and the shared
+/// KernelAllocCounters prove it (see bench_microkernel).
 inline constexpr std::size_t kSlabBlockBytes = 256;
-inline constexpr std::size_t kSlabFreeListCap = 1024;
 
-/// Thread-local pool of spill blocks. Blocks are interchangeable raw
-/// memory, so a block freed on a different thread than it was allocated on
-/// (which the kernel never does, but is harmless) just migrates pools.
-class CallbackSlab {
- public:
-  ~CallbackSlab() {
-    for (void* block : free_) ::operator delete(block);
-  }
-
-  void* allocate() {
-    if (!free_.empty()) {
-      void* block = free_.back();
-      free_.pop_back();
-      return block;
-    }
-    return ::operator new(kSlabBlockBytes);
-  }
-
-  void deallocate(void* block) {
-    if (free_.size() < kSlabFreeListCap) {
-      free_.push_back(block);
-    } else {
-      ::operator delete(block);
-    }
-  }
-
-  static CallbackSlab& local() {
-    thread_local CallbackSlab slab;
-    return slab;
-  }
-
- private:
-  std::vector<void*> free_;
-};
+using SpillPool = SlabPool<kSlabBlockBytes>;
 
 inline void* spill_alloc(std::size_t bytes) {
-  if (bytes <= kSlabBlockBytes) return CallbackSlab::local().allocate();
+  if (bytes <= kSlabBlockBytes) return SpillPool::local().allocate();
+  ++kernel_alloc_counters().heap_allocs;
   return ::operator new(bytes);
 }
 
 inline void spill_free(void* block, std::size_t bytes) {
   if (bytes <= kSlabBlockBytes) {
-    CallbackSlab::local().deallocate(block);
+    SpillPool::local().deallocate(block);
   } else {
+    ++kernel_alloc_counters().heap_frees;
     ::operator delete(block);
   }
 }

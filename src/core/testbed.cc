@@ -29,6 +29,11 @@ Testbed::Testbed(TestbedConfig config)
     config_.cluster.liveness_timeout = config_.detector.liveness_timeout;
     config_.cluster.liveness_check_interval = config_.detector.check_interval;
   }
+  if (config_.batch_periodics) {
+    config_.cluster.batch_heartbeats = true;
+    config_.detector.batch_heartbeats = true;
+    config_.integrity.batch_scrub_ticks = true;
+  }
 
   if (config_.enable_trace || config_.check_invariants) {
     trace_ = std::make_unique<TraceRecorder>();
@@ -70,6 +75,8 @@ Testbed::Testbed(TestbedConfig config)
     if (tier_policy_ != nullptr) {
       datanodes_.back()->set_migration_policy(tier_policy_.get());
     }
+    datanodes_.back()->set_checksum_cost(
+        config_.integrity.checksum_cost_per_gib);
     datanodes_.back()->set_trace(trace_.get(), emit_tier_events);
     namenode_->register_datanode(datanodes_.back().get());
   }

@@ -111,6 +111,12 @@ struct TestbedConfig {
   IntegrityConfig integrity;
   /// N-tier storage hierarchy + migration policy (see TieringConfig).
   TieringConfig tiering;
+  /// Batches every periodic cohort (RM heartbeats, detector heartbeats,
+  /// scrub ticks) through one repeating kernel event each instead of one
+  /// event per node (see PeriodicCohort). Tick times are identical; the
+  /// interleaving of same-microsecond events can differ, so this is off by
+  /// default to keep pinned traces bit-identical.
+  bool batch_periodics = false;
 };
 
 /// A job plus its arrival offset from workload start.
@@ -205,6 +211,17 @@ class Testbed : public FaultTarget {
   /// Null unless config.integrity.enable_scrubber was set.
   Scrubber* scrubber() { return scrubber_.get(); }
   const TestbedConfig& config() const { return config_; }
+
+  /// The per-node tier hierarchy this run models: the explicit
+  /// config.tiering.tiers when set, otherwise the implicit two-tier stack
+  /// (RAM pool over the primary device) every legacy run uses. Feeds the
+  /// tier-cost summary (write_tier_cost_csv) in bench reports.
+  std::vector<TierSpec> tier_specs() const {
+    if (!config_.tiering.tiers.empty()) return config_.tiering.tiers;
+    return two_tier_specs(
+        config_.primary_profile.value_or(profile_for(config_.storage_media)),
+        config_.cache_capacity_per_node);
+  }
 
   /// Allocates a fresh JobId (monotonic; submission order == id order).
   JobId next_job_id() { return JobId(next_job_++); }

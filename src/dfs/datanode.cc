@@ -116,35 +116,48 @@ void DataNode::read_block(BlockId block, JobId job, ReadCallback on_complete) {
   const TransferHandle handle = device.read(
       size, [this, id, block, job, size, start, serving, promoted,
              from_memory] {
-        const auto it = pending_reads_.find(id);
-        IGNEM_CHECK(it != pending_reads_.end());
-        ReadCallback cb = std::move(it->second.callback);
-        pending_reads_.erase(it);
-        // The checksum pass over the transferred data (the verification
-        // device.cc charges no extra time for). Judged at completion so rot
-        // injected mid-read is caught too.
-        const bool corrupt = promoted
-                                 ? tiers_.pool(serving).is_corrupt(block)
-                                 : corrupt_.contains(block);
-        if (corrupt) {
-          if (trace_ != nullptr) {
-            trace_->emit(TraceEventType::kBlockReadCorrupt, id_, block, job,
-                         size, promoted ? 1 : 0);
+        auto finish = [this, id, block, job, size, start, serving, promoted,
+                       from_memory] {
+          const auto it = pending_reads_.find(id);
+          // Absent only when the node crashed while the (deferred) checksum
+          // pass was running: abort_pending_reads already failed the read.
+          if (it == pending_reads_.end()) return;
+          ReadCallback cb = std::move(it->second.callback);
+          pending_reads_.erase(it);
+          // The checksum pass over the transferred data. Judged at
+          // completion so rot injected mid-read is caught too.
+          const bool corrupt = promoted
+                                   ? tiers_.pool(serving).is_corrupt(block)
+                                   : corrupt_.contains(block);
+          if (corrupt) {
+            if (trace_ != nullptr) {
+              trace_->emit(TraceEventType::kBlockReadCorrupt, id_, block, job,
+                           size, promoted ? 1 : 0);
+            }
+            report_corruption(block, promoted, CorruptionSource::kRead);
+            cb(BlockReadResult{sim_.now() - start, from_memory, false, true});
+            return;
           }
-          report_corruption(block, promoted, CorruptionSource::kRead);
-          cb(BlockReadResult{sim_.now() - start, from_memory, false, true});
-          return;
+          const BlockReadResult result{sim_.now() - start, from_memory, false};
+          if (trace_ != nullptr) {
+            trace_->emit(TraceEventType::kBlockReadEnd, id_, block, job, size,
+                         from_memory ? 1 : 0);
+          }
+          // Victim-tier residency heat: the DownwardOnCold ageing tick
+          // demotes copies that stop being touched.
+          if (promoted && serving > 0) victim_touch_[block] = sim_.now();
+          if (listener_ != nullptr) listener_->on_block_read(id_, block, job);
+          cb(result);
+        };
+        // Zero cost (the default) runs the pass inline — no extra event, so
+        // traces are untouched; a configured cost delays delivery by the
+        // verification time, which also lands in the result's latency.
+        const Duration cost = checksum_cost(size);
+        if (cost <= Duration::zero()) {
+          finish();
+        } else {
+          sim_.schedule(cost, std::move(finish));
         }
-        const BlockReadResult result{sim_.now() - start, from_memory, false};
-        if (trace_ != nullptr) {
-          trace_->emit(TraceEventType::kBlockReadEnd, id_, block, job, size,
-                       from_memory ? 1 : 0);
-        }
-        // Victim-tier residency heat: the DownwardOnCold ageing tick
-        // demotes copies that stop being touched.
-        if (promoted && serving > 0) victim_touch_[block] = sim_.now();
-        if (listener_ != nullptr) listener_->on_block_read(id_, block, job);
-        cb(result);
       });
   pending_reads_.emplace(
       id, PendingRead{&device, handle, block, std::move(on_complete)});
@@ -162,17 +175,27 @@ void DataNode::verify_block(BlockId block, ReadCallback on_complete) {
   const std::uint64_t id = next_read_++;
   const TransferHandle handle = primary_device().read(
       size, [this, id, block, size, start] {
-        const auto it = pending_reads_.find(id);
-        IGNEM_CHECK(it != pending_reads_.end());
-        ReadCallback cb = std::move(it->second.callback);
-        pending_reads_.erase(it);
-        const bool corrupt = corrupt_.contains(block);
-        if (trace_ != nullptr) {
-          trace_->emit(TraceEventType::kScrub, id_, block, JobId::invalid(),
-                       size, corrupt ? 1 : 0);
+        auto finish = [this, id, block, size, start] {
+          const auto it = pending_reads_.find(id);
+          if (it == pending_reads_.end()) return;  // aborted mid-checksum
+          ReadCallback cb = std::move(it->second.callback);
+          pending_reads_.erase(it);
+          const bool corrupt = corrupt_.contains(block);
+          if (trace_ != nullptr) {
+            trace_->emit(TraceEventType::kScrub, id_, block, JobId::invalid(),
+                         size, corrupt ? 1 : 0);
+          }
+          if (corrupt) {
+            report_corruption(block, false, CorruptionSource::kScrub);
+          }
+          cb(BlockReadResult{sim_.now() - start, false, false, corrupt});
+        };
+        const Duration cost = checksum_cost(size);
+        if (cost <= Duration::zero()) {
+          finish();
+        } else {
+          sim_.schedule(cost, std::move(finish));
         }
-        if (corrupt) report_corruption(block, false, CorruptionSource::kScrub);
-        cb(BlockReadResult{sim_.now() - start, false, false, corrupt});
       });
   pending_reads_.emplace(id, PendingRead{&primary_device(), handle, block,
                                          std::move(on_complete)});

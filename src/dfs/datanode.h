@@ -112,6 +112,11 @@ class DataNode {
   /// so the client can retry another replica.
   void read_block(BlockId block, JobId job, ReadCallback on_complete);
 
+  /// Charges `per_gib` of latency for the checksum pass each read/verify
+  /// performs, scaled by block size. Zero (the default) keeps the pass
+  /// free and inline — the historical behavior, no extra events.
+  void set_checksum_cost(Duration per_gib) { checksum_cost_per_gib_ = per_gib; }
+
   /// Scrubber entry point: pays a full checksum read of the stored replica
   /// through the home device, emits kScrub, and reports corruption like
   /// the read path does. The callback's `corrupt` flag carries the verdict.
@@ -242,6 +247,13 @@ class DataNode {
   };
   std::map<std::uint64_t, PendingRead> pending_reads_;  // ordered: determinism
   std::uint64_t next_read_ = 1;
+
+  Duration checksum_cost(Bytes size) const {
+    if (checksum_cost_per_gib_ <= Duration::zero()) return Duration::zero();
+    return checksum_cost_per_gib_ *
+           (static_cast<double>(size) / static_cast<double>(kGiB));
+  }
+  Duration checksum_cost_per_gib_ = Duration::zero();
 };
 
 }  // namespace ignem

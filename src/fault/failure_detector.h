@@ -32,6 +32,10 @@ struct FailureDetectorConfig {
   /// compress it to keep experiments short).
   Duration liveness_timeout = Duration::seconds(12.0);
   Duration check_interval = Duration::seconds(1.0);
+  /// Drive all DataNode heartbeats through one PeriodicCohort event instead
+  /// of one PeriodicTask each (see PeriodicCohort for the equivalence and
+  /// why it is opt-in under pinned traces).
+  bool batch_heartbeats = false;
 };
 
 class FailureDetector {
@@ -67,7 +71,11 @@ class FailureDetector {
   NameNode& namenode_;
   FailureDetectorConfig config_;
   TraceRecorder* trace_ = nullptr;
+  // Unbatched: one PeriodicTask per node. Batched: one cohort, one member
+  // id per node (0 while the node's heartbeat is halted).
   std::vector<std::unique_ptr<PeriodicTask>> heartbeats_;  // index == node
+  std::unique_ptr<PeriodicCohort> heartbeat_cohort_;
+  std::vector<PeriodicCohort::MemberId> heartbeat_members_;
   std::unique_ptr<PeriodicTask> monitor_;
   std::function<void(NodeId)> on_node_dead_;
   std::function<void(NodeId)> on_node_rejoined_;

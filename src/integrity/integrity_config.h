@@ -23,6 +23,18 @@ struct IntegrityConfig {
   /// Generous by default so transient chaos outages (tens of seconds) never
   /// fail a job, while a truly lost block still unblocks the sim.
   Duration read_deadline = Duration::seconds(600);
+
+  /// CPU/latency cost of verifying a block's checksum on a DataNode read,
+  /// charged per GiB verified (CRC32C streams at several GiB/s on one
+  /// core). Zero by default: the completion path then takes the exact
+  /// historical code path — no extra scheduled event — so pinned trace
+  /// hashes hold.
+  Duration checksum_cost_per_gib = Duration::zero();
+
+  /// Drive scrub ticks through one PeriodicCohort event instead of one
+  /// PeriodicTask per DataNode (see PeriodicCohort; opt-in under pinned
+  /// traces).
+  bool batch_scrub_ticks = false;
 };
 
 }  // namespace ignem

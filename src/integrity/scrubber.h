@@ -43,6 +43,7 @@ class Scrubber {
 
   NameNode& namenode_;
   std::vector<std::unique_ptr<PeriodicTask>> tasks_;
+  std::unique_ptr<PeriodicCohort> cohort_;  // set when batch_scrub_ticks
   std::vector<BlockId> cursors_;  // last block scanned per node
   ScrubberStats stats_;
 };

@@ -68,4 +68,24 @@ void write_integrity_csv(const IntegrityStats& integrity,
      << scrubber.corrupt_found << '\n';
 }
 
+double tier_cost_total(const std::vector<TierSpec>& tiers) {
+  double total = 0.0;
+  for (const TierSpec& tier : tiers) {
+    total +=
+        tier.cost_per_gib * (static_cast<double>(tier.capacity) / kGiB);
+  }
+  return total;
+}
+
+void write_tier_cost_csv(const std::vector<TierSpec>& tiers,
+                         std::ostream& os) {
+  os << "tier,capacity_gib,cost_per_gib,cost\n";
+  for (const TierSpec& tier : tiers) {
+    const double gib = static_cast<double>(tier.capacity) / kGiB;
+    os << tier.name << ',' << gib << ',' << tier.cost_per_gib << ','
+       << tier.cost_per_gib * gib << '\n';
+  }
+  os << "total,,," << tier_cost_total(tiers) << '\n';
+}
+
 }  // namespace ignem

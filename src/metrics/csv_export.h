@@ -2,10 +2,12 @@
 #pragma once
 
 #include <ostream>
+#include <vector>
 
 #include "integrity/integrity_manager.h"
 #include "integrity/scrubber.h"
 #include "metrics/run_metrics.h"
+#include "storage/tier.h"
 
 namespace ignem {
 
@@ -32,5 +34,15 @@ void write_tier_samples_csv(const RunMetrics& metrics, std::ostream& os);
 /// the scrubber was disabled.
 void write_integrity_csv(const IntegrityStats& integrity,
                          const ScrubberStats& scrubber, std::ostream& os);
+
+/// tier,capacity_gib,cost_per_gib,cost — one row per tier of one node's
+/// hierarchy (capacity × $/GiB), plus a trailing `total` row. This is the
+/// hardware cost the paper's upward-migration argument trades against: RAM
+/// capacity is ~100x HDD cost per GiB, so serving hot data from a thin fast
+/// tier must beat buying more of it.
+void write_tier_cost_csv(const std::vector<TierSpec>& tiers, std::ostream& os);
+
+/// Total acquisition cost of one node's hierarchy (sum of capacity × $/GiB).
+double tier_cost_total(const std::vector<TierSpec>& tiers);
 
 }  // namespace ignem

@@ -130,6 +130,29 @@ TEST(CsvExport, IntegritySummary) {
   EXPECT_NE(out.find("3,1,1,120,2"), std::string::npos);
 }
 
+TEST(CsvExport, TierCost) {
+  std::vector<TierSpec> tiers;
+  tiers.push_back({"ram", DeviceProfile{}, 4 * kGiB, 10.0});
+  tiers.push_back({"hdd", DeviceProfile{}, 100 * kGiB, 0.05});
+  std::ostringstream os;
+  write_tier_cost_csv(tiers, os);
+  const std::string out = os.str();
+  EXPECT_EQ(line_count(out), 4u);
+  EXPECT_NE(out.find("tier,capacity_gib,cost_per_gib,cost"),
+            std::string::npos);
+  EXPECT_NE(out.find("ram,4,10,40"), std::string::npos);
+  EXPECT_NE(out.find("hdd,100,0.05,5"), std::string::npos);
+  EXPECT_NE(out.find("total,,,45"), std::string::npos);
+  EXPECT_DOUBLE_EQ(tier_cost_total(tiers), 45.0);
+}
+
+TEST(CsvExport, TierCostEmptyHierarchy) {
+  std::ostringstream os;
+  write_tier_cost_csv({}, os);
+  EXPECT_EQ(line_count(os.str()), 2u);  // header + zero total
+  EXPECT_DOUBLE_EQ(tier_cost_total({}), 0.0);
+}
+
 TEST(CsvExport, DisabledScrubberExportsZeros) {
   IntegrityStats integrity;
   std::ostringstream os;

@@ -25,10 +25,27 @@ namespace {
 // ---------------------------------------------------------------------------
 // EventQueue vs ReferenceEventQueue: mixed push/cancel/pop.
 
+struct QueueVariant {
+  const char* name;
+  EventQueue::Backend backend;
+  EventQueue::LadderConfig ladder;
+};
+
+// The default geometry, the legacy heap, and a deliberately tiny ladder
+// (8 us x 64 buckets) whose window wraps thousands of times per seed so the
+// far-heap overflow, re-anchoring, and ring-wrap paths all get exercised.
+const QueueVariant kQueueVariants[] = {
+    {"ladder-default", EventQueue::Backend::kLadder, {}},
+    {"heap", EventQueue::Backend::kHeap, {}},
+    {"ladder-tiny", EventQueue::Backend::kLadder, {8, 64}},
+};
+
 TEST(KernelDifferential, EventQueueMatchesReference) {
+  for (const QueueVariant& variant : kQueueVariants) {
+  SCOPED_TRACE(variant.name);
   for (std::uint64_t seed = 1; seed <= 20; ++seed) {
     Rng rng(test::seed_for(seed * 1000));
-    EventQueue fast;
+    EventQueue fast(variant.backend, variant.ladder);
     reference::ReferenceEventQueue naive;
 
     std::vector<EventHandle> fast_handles;
@@ -85,6 +102,7 @@ TEST(KernelDifferential, EventQueueMatchesReference) {
     }
     EXPECT_TRUE(naive.empty());
     ASSERT_EQ(fast_fired, naive_fired) << "seed " << seed;
+  }
   }
 }
 
@@ -173,29 +191,38 @@ TEST_P(BandwidthDifferential, MatchesReferenceExactly) {
     Rng rng(test::seed_for(seed * 77));
     const std::vector<BwOp> script = random_script(rng, 500);
 
-    Simulator fast_sim;
-    SharedBandwidthResource fast(fast_sim, "fast", profile);
-    std::vector<TransferHandle> fast_handles;
-    const std::vector<Completion> fast_done =
-        replay(script, fast_sim, fast, fast_handles);
-
     Simulator naive_sim;
     reference::ReferenceBandwidthResource naive(naive_sim, profile);
     std::vector<std::uint64_t> naive_handles;
     const std::vector<Completion> naive_done =
         replay(script, naive_sim, naive, naive_handles);
 
-    ASSERT_EQ(fast_done.size(), naive_done.size()) << "seed " << seed;
-    for (std::size_t i = 0; i < fast_done.size(); ++i) {
-      ASSERT_EQ(fast_done[i], naive_done[i])
-          << "seed " << seed << " completion " << i << ": fast ("
-          << fast_done[i].at_micros << ", op " << fast_done[i].op_index
-          << ") vs naive (" << naive_done[i].at_micros << ", op "
-          << naive_done[i].op_index << ")";
+    // Both settle modes must match the reference exactly: kPerOp is the
+    // default; kEpoch coalesces each same-timestamp burst into one flush
+    // but may not move or reorder a single completion.
+    for (const auto mode : {SharedBandwidthResource::SettleMode::kPerOp,
+                            SharedBandwidthResource::SettleMode::kEpoch}) {
+      SCOPED_TRACE(mode == SharedBandwidthResource::SettleMode::kPerOp
+                       ? "per-op"
+                       : "epoch");
+      Simulator fast_sim;
+      SharedBandwidthResource fast(fast_sim, "fast", profile, mode);
+      std::vector<TransferHandle> fast_handles;
+      const std::vector<Completion> fast_done =
+          replay(script, fast_sim, fast, fast_handles);
+
+      ASSERT_EQ(fast_done.size(), naive_done.size()) << "seed " << seed;
+      for (std::size_t i = 0; i < fast_done.size(); ++i) {
+        ASSERT_EQ(fast_done[i], naive_done[i])
+            << "seed " << seed << " completion " << i << ": fast ("
+            << fast_done[i].at_micros << ", op " << fast_done[i].op_index
+            << ") vs naive (" << naive_done[i].at_micros << ", op "
+            << naive_done[i].op_index << ")";
+      }
+      EXPECT_EQ(fast.total_bytes_completed(), naive.total_bytes_completed());
+      EXPECT_EQ(fast.active_transfers(), naive.active_transfers());
+      EXPECT_EQ(fast_sim.now(), naive_sim.now()) << "seed " << seed;
     }
-    EXPECT_EQ(fast.total_bytes_completed(), naive.total_bytes_completed());
-    EXPECT_EQ(fast.active_transfers(), naive.active_transfers());
-    EXPECT_EQ(fast_sim.now(), naive_sim.now()) << "seed " << seed;
   }
 }
 

@@ -161,5 +161,55 @@ TEST(KernelRegression, ExplicitTwoTierGoogleMatchesPinnedHashes) {
   }
 }
 
+// Batched periodics (PeriodicCohort heartbeats + scrub ticks) must not move
+// any physics: every tick still fires at the same simulated time, so job
+// and read timings are identical. Only same-microsecond event *interleaving*
+// may differ (the cohort consumes different event seqs), which is why the
+// knob is opt-in and this test compares timing metrics rather than the raw
+// trace hash.
+TEST(KernelRegression, BatchedPeriodicsPreservePhysics) {
+  TestbedConfig base = pinned_config(RunMode::kIgnem);
+  base.integrity.enable_scrubber = true;
+  base.integrity.scrub_interval = Duration::seconds(2);
+  TestbedConfig batched = base;
+  batched.batch_periodics = true;
+
+  Testbed plain(base);
+  plain.run_workload(build_swim_workload(plain, pinned_swim()));
+  Testbed cohort(batched);
+  cohort.run_workload(build_swim_workload(cohort, pinned_swim()));
+
+  const RunMetrics& a = plain.metrics();
+  const RunMetrics& b = cohort.metrics();
+  EXPECT_EQ(a.jobs().size(), b.jobs().size());
+  for (std::size_t i = 0; i < a.jobs().size(); ++i) {
+    EXPECT_EQ(a.jobs()[i].end.count_micros(), b.jobs()[i].end.count_micros())
+        << "job " << i << " finished at a different time under "
+           "batch_periodics";
+  }
+  EXPECT_DOUBLE_EQ(a.mean_job_duration_seconds(),
+                   b.mean_job_duration_seconds());
+  EXPECT_DOUBLE_EQ(a.mean_block_read_seconds(), b.mean_block_read_seconds());
+}
+
+// A nonzero checksum verification cost must visibly slow reads (it defers
+// each read completion by cost x GiB); the zero default's bit-identity with
+// history is covered by the pinned-hash tests above.
+TEST(KernelRegression, ChecksumCostSlowsReads) {
+  TestbedConfig base = pinned_config(RunMode::kHdfs);
+  Testbed free_run(base);
+  free_run.run_workload(build_swim_workload(free_run, pinned_swim()));
+
+  TestbedConfig costed_config = base;
+  costed_config.integrity.checksum_cost_per_gib = Duration::seconds(2);
+  Testbed costed(costed_config);
+  costed.run_workload(build_swim_workload(costed, pinned_swim()));
+
+  EXPECT_GT(costed.metrics().mean_block_read_seconds(),
+            free_run.metrics().mean_block_read_seconds());
+  EXPECT_GT(costed.metrics().mean_job_duration_seconds(),
+            free_run.metrics().mean_job_duration_seconds());
+}
+
 }  // namespace
 }  // namespace ignem
