@@ -35,6 +35,10 @@ void main_impl() {
             << TextTable::percent(speedup(hdfs, ignem) / speedup(hdfs, ram))
             << " of the upper-bound benefit (paper: ~60%)\n";
 
+  // Structured run report for the Ignem run: kernel self-profile, per-tier
+  // occupancy series, cache-hit timeline. CI uploads it as an artifact.
+  write_run_report(*runs[1], "table1_swim");
+
   // Hardware cost of the modeled per-node hierarchy — the denominator of
   // the paper's "speedup without buying more RAM" argument.
   const std::vector<TierSpec> tiers = runs[1]->tier_specs();

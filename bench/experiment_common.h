@@ -14,12 +14,15 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bench/sweep_runner.h"
 #include "core/testbed.h"
+#include "metrics/report.h"
 #include "metrics/table.h"
 #include "workload/swim.h"
 
@@ -73,9 +76,19 @@ class BenchReport {
     kernel_events_.fetch_add(n, std::memory_order_relaxed);
   }
 
-  /// Convenience: credit a finished run's dispatched events.
+  /// Convenience: credit a finished run's dispatched events and stamp the
+  /// run's config fingerprint into the JSON.
   void add_run(Testbed& testbed) {
     add_events(testbed.sim().events_dispatched());
+    set_fingerprint(testbed.fingerprint());
+  }
+
+  /// Stamps the config fingerprint written into BENCH_<name>.json. First
+  /// call wins (sweep workers all run the same cluster shape; mode is not
+  /// part of the fingerprint). Thread-safe.
+  void set_fingerprint(const ConfigFingerprint& fp) {
+    std::lock_guard<std::mutex> lock(fingerprint_mutex_);
+    if (!fingerprint_.has_value()) fingerprint_ = fp;
   }
 
   void write() {
@@ -92,6 +105,16 @@ class BenchReport {
       return;
     }
     out << "{\n  \"bench\": \"" << name_ << "\",\n";
+    {
+      std::lock_guard<std::mutex> lock(fingerprint_mutex_);
+      // Benches that never run a Testbed (trace analyses, the kernel
+      // microbenchmarks) still stamp the kernel-level defaults: nodes=0
+      // marks "no cluster" while queue/settle/seed stay meaningful.
+      if (!fingerprint_.has_value()) fingerprint_ = ConfigFingerprint{};
+      out << "  \"fingerprint\": ";
+      fingerprint_->write_json(out, 2);
+      out << ",\n";
+    }
     out << "  \"wall_seconds\": " << wall << ",\n";
     out << "  \"kernel_events\": " << kernel_events_.load() << ",\n";
     out << "  \"kernel_events_per_sec\": " << (wall > 0 ? events / wall : 0)
@@ -110,6 +133,8 @@ class BenchReport {
   std::chrono::steady_clock::time_point start_;
   std::atomic<std::uint64_t> kernel_events_{0};
   std::vector<std::pair<std::string, double>> metrics_;
+  std::mutex fingerprint_mutex_;
+  std::optional<ConfigFingerprint> fingerprint_;
   bool written_ = false;
 };
 
@@ -182,6 +207,21 @@ inline std::vector<std::unique_ptr<Testbed>> run_swim_modes(
       modes.size(),
       [&](std::size_t i) { return run_swim(modes[i], media, report); },
       trace_requested() ? 1 : 0);
+}
+
+/// Writes a run's structured report to REPORT_<name>.json (CI uploads these
+/// as artifacts next to BENCH_*.json). Deterministic: the file content is a
+/// pure function of config + seed — no wall-clock numbers.
+inline void write_run_report(Testbed& testbed, const std::string& name) {
+  const RunReport run_report = testbed.build_run_report(name);
+  const std::string file = "REPORT_" + name + ".json";
+  std::ofstream out(file, std::ios::trunc);
+  if (!out.good()) {
+    std::cerr << "[run-report] cannot open " << file << "\n";
+    return;
+  }
+  run_report.write_json(out);
+  std::cout << "[run-report] wrote " << file << "\n";
 }
 
 inline void print_header(const std::string& title) {

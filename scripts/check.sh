@@ -6,6 +6,8 @@
 #   scripts/check.sh tier1      # sanitized build + fast tier only
 #   scripts/check.sh tiering    # N-tier hierarchy / migration-policy suite
 #   scripts/check.sh kernel     # event-queue differential + fuzz suite
+#   scripts/check.sh metrics    # metrics-plane suite (instruments, RunReport
+#                               # determinism, trace inertness, CSV export)
 #
 # Uses a dedicated build directory (build-check) so the regular build stays
 # untouched. See docs/TRACING.md for the determinism/invariant suites this

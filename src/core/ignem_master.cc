@@ -21,9 +21,11 @@ void IgnemMaster::register_slave(IgnemSlave* slave) {
 void IgnemMaster::request(const MigrationRequest& request) {
   if (failed_) return;  // clients retry against the restarted master
   // Client -> master RPC.
-  sim_.schedule(config_.rpc_latency, [this, request] {
-    if (!failed_) process(request);
-  });
+  sim_.schedule(config_.rpc_latency,
+                [this, request] {
+                  if (!failed_) process(request);
+                },
+                EventClass::kRpc);
 }
 
 void IgnemMaster::process(const MigrationRequest& request) {
@@ -107,7 +109,8 @@ void IgnemMaster::do_evict(const MigrationRequest& request) {
                     if (failed_) return;
                     slaves_[static_cast<std::size_t>(node.value())]
                         ->handle_evict_batch(job, blocks);
-                  });
+                  },
+                  EventClass::kRpc);
   }
 }
 
@@ -179,7 +182,8 @@ void IgnemMaster::send_migrate_batches(
                     if (failed_) return;
                     slaves_[static_cast<std::size_t>(target.value())]
                         ->handle_migrate_batch(batch);
-                  });
+                  },
+                  EventClass::kRpc);
   }
 }
 
@@ -212,10 +216,12 @@ void IgnemMaster::on_replica_corrupt(BlockId block, NodeId node) {
 
 void IgnemMaster::on_node_rejoin(NodeId node) {
   if (failed_) return;
-  sim_.schedule(config_.rpc_latency, [this, node] {
-    if (failed_) return;
-    slaves_[static_cast<std::size_t>(node.value())]->purge_all();
-  });
+  sim_.schedule(config_.rpc_latency,
+                [this, node] {
+                  if (failed_) return;
+                  slaves_[static_cast<std::size_t>(node.value())]->purge_all();
+                },
+                EventClass::kRpc);
 }
 
 NodeId IgnemMaster::chosen_replica(JobId job, BlockId block) const {

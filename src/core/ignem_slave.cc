@@ -120,9 +120,11 @@ void IgnemSlave::maybe_start() {
           const Duration elapsed = sim_.now() - started;
           const Duration pad =
               budget > elapsed ? budget - elapsed : Duration::zero();
-          sim_.schedule(pad, [this, block, bytes] {
-            on_migration_complete(block, bytes);
-          });
+          sim_.schedule(pad,
+                        [this, block, bytes] {
+                          on_migration_complete(block, bytes);
+                        },
+                        EventClass::kMigration);
         });
     current_ = ActiveMigration{m.block, state.bytes, source, target, transfer};
   }
@@ -135,11 +137,13 @@ void IgnemSlave::schedule_ready_wake() {
   wake_pending_ = true;
   wake_time_ = *next;
   const SimTime target = *next;
-  sim_.schedule(target - sim_.now(), [this, target] {
-    if (!wake_pending_ || wake_time_ != target) return;  // superseded
-    wake_pending_ = false;
-    maybe_start();
-  });
+  sim_.schedule(target - sim_.now(),
+                [this, target] {
+                  if (!wake_pending_ || wake_time_ != target) return;
+                  wake_pending_ = false;
+                  maybe_start();
+                },
+                EventClass::kMigration);
 }
 
 void IgnemSlave::on_migration_complete(BlockId block, Bytes bytes) {

@@ -189,6 +189,16 @@ Testbed::Testbed(TestbedConfig config)
     memory_sampler_ = std::make_unique<PeriodicTask>(
         sim_, config_.memory_sample_period, [this] { sample_memory(); });
   }
+
+  if (config_.enable_metrics) {
+    // All recording below is passive: no events scheduled, no RNG consumed,
+    // so traces are bit-identical with metrics on or off (metrics_test pins
+    // this). Time series piggyback on the existing memory sampler rather
+    // than adding a periodic event of their own.
+    sim_.enable_profiling();
+    dfs_->set_metrics_registry(&registry_);
+    if (detector_ != nullptr) detector_->set_metrics_registry(&registry_);
+  }
 }
 
 Testbed::~Testbed() = default;
@@ -288,13 +298,25 @@ HotDataPromoter* Testbed::hot_data_promoter(NodeId node) {
 }
 
 void Testbed::sample_memory() {
+  // Aggregates for the registry time series (filled while walking nodes).
+  Bytes total_locked = 0;
+  std::size_t total_queue_depth = 0;
+  std::map<std::size_t, std::pair<Bytes, Bytes>> tier_usage;  // t -> used/cap
+
   for (const auto& dn : datanodes_) {
     MemorySample sample;
     sample.node = dn->id();
     sample.when = sim_.now();
     sample.locked_bytes = dn->cache().used();
     metrics_.add_memory_sample(sample);
-    if (!dn->tiering_active()) continue;
+    total_locked += sample.locked_bytes;
+    if (!dn->tiering_active()) {
+      // Legacy layout: the RAM pool over the home device is "tier 0".
+      auto& [used, cap] = tier_usage[0];
+      used += dn->cache().used();
+      cap += dn->cache().capacity();
+      continue;
+    }
     const TierHierarchy& tiers = dn->tiers();
     for (std::size_t t = 0; t < tiers.tier_count(); ++t) {
       TierSample ts;
@@ -308,7 +330,36 @@ void Testbed::sample_memory() {
       ts.promotes_in = stats.promotes_in;
       ts.demotes_in = stats.demotes_in;
       metrics_.add_tier_sample(ts);
+      auto& [used, cap] = tier_usage[t];
+      used += ts.used;
+      cap += ts.capacity;
     }
+  }
+  for (const auto& slave : slaves_) total_queue_depth += slave->queue_depth();
+
+  if (!config_.enable_metrics) return;
+  const Duration w = config_.memory_sample_period;
+  const SimTime now = sim_.now();
+  registry_.series("ignem.locked_bytes", w)
+      .record(now, static_cast<double>(total_locked));
+  registry_.series("ignem.migration_queue_depth", w)
+      .record(now, static_cast<double>(total_queue_depth));
+  const DfsStats& reads = dfs_->stats();
+  registry_.series("ignem.cache_hit_ratio", w)
+      .record(now, reads.reads_completed == 0
+                       ? 0.0
+                       : static_cast<double>(reads.memory_reads) /
+                             static_cast<double>(reads.reads_completed));
+  for (const auto& [t, usage] : tier_usage) {
+    registry_.series("tier.occupancy.t" + std::to_string(t), w)
+        .record(now, usage.second == 0
+                         ? 0.0
+                         : static_cast<double>(usage.first) /
+                               static_cast<double>(usage.second));
+  }
+  if (scrubber_ != nullptr) {
+    registry_.series("scrub.blocks_scanned", w)
+        .record(now, static_cast<double>(scrubber_->stats().blocks_scanned));
   }
 }
 
@@ -578,6 +629,146 @@ bool Testbed::run_workload_to(std::vector<ScheduledJob> jobs,
   if (done) sim_.run(sim_.now() + Duration::seconds(1.0));
   if (memory_sampler_ != nullptr) memory_sampler_->stop();
   return done;
+}
+
+ConfigFingerprint Testbed::fingerprint() const {
+  ConfigFingerprint fp;
+  fp.queue_backend = sim_.queue_backend();
+  // The testbed builds every bandwidth channel with the constructor default;
+  // the knob is not plumbed through TestbedConfig (yet), so record it as the
+  // constant it is rather than omitting it from the identity.
+  fp.settle_mode = "per_op";
+  fp.batch_periodics = config_.batch_periodics;
+  fp.seed = config_.seed;
+  fp.nodes = static_cast<int>(datanodes_.size());
+  fp.replication = config_.replication;
+  fp.storage_media = media_name(config_.storage_media);
+  fp.tier_policy = config_.tiering.tiers.empty()
+                       ? "legacy"
+                       : tier_policy_name(config_.tiering.policy);
+  fp.tier_count = static_cast<int>(tier_specs().size());
+  fp.fault_tolerance = config_.fault_tolerance;
+  fp.scrubber = config_.integrity.enable_scrubber;
+  return fp;
+}
+
+RunReport Testbed::build_run_report(const std::string& name) {
+  RunReport report;
+  report.name = name;
+  report.mode = run_mode_name(config_.mode);
+  report.fingerprint = fingerprint();
+  report.registry = &registry_;
+
+  if (sim_.profiling_enabled()) {
+    report.has_kernel = true;
+    report.kernel = sim_.profile();
+    const KernelAllocCounters now = kernel_alloc_counters();
+    const KernelAllocCounters& base = report.kernel.alloc_at_enable;
+    report.alloc_deltas.heap_allocs = now.heap_allocs - base.heap_allocs;
+    report.alloc_deltas.heap_frees = now.heap_frees - base.heap_frees;
+    report.alloc_deltas.pool_hits = now.pool_hits - base.pool_hits;
+    report.alloc_deltas.chunk_carves = now.chunk_carves - base.chunk_carves;
+    report.alloc_deltas.container_growths =
+        now.container_growths - base.container_growths;
+  }
+
+  // Mirror every component's cumulative stats into named counters so the
+  // registry (and therefore the JSON) is the one place they all appear.
+  const DfsStats& d = dfs_->stats();
+  registry_.counter("dfs.reads_completed").set(d.reads_completed);
+  registry_.counter("dfs.reads_failed").set(d.reads_failed);
+  registry_.counter("dfs.memory_reads").set(d.memory_reads);
+  registry_.counter("dfs.remote_reads").set(d.remote_reads);
+  registry_.counter("dfs.retries").set(d.retries);
+  registry_.counter("dfs.replica_failovers").set(d.replica_failovers);
+  registry_.counter("dfs.checksum_failovers").set(d.checksum_failovers);
+
+  const ReplicationStats& r = replication_manager_->stats();
+  registry_.counter("replication.blocks_scheduled").set(r.blocks_scheduled);
+  registry_.counter("replication.blocks_repaired").set(r.blocks_repaired);
+  registry_.counter("replication.blocks_unrepairable")
+      .set(r.blocks_unrepairable);
+  registry_.counter("replication.corrupt_invalidated")
+      .set(r.corrupt_invalidated);
+
+  const IntegrityStats& integ = integrity_->stats();
+  registry_.counter("integrity.disk_corrupt_detected")
+      .set(integ.disk_corrupt_detected);
+  registry_.counter("integrity.cache_corrupt_detected")
+      .set(integ.cache_corrupt_detected);
+  registry_.counter("integrity.cache_copies_purged")
+      .set(integ.cache_copies_purged);
+
+  if (scrubber_ != nullptr) {
+    const ScrubberStats& s = scrubber_->stats();
+    registry_.counter("scrub.blocks_scanned").set(s.blocks_scanned);
+    registry_.counter("scrub.corrupt_found").set(s.corrupt_found);
+    registry_.counter("scrub.scans_contended").set(s.scans_contended);
+    registry_.gauge("scrub.contention_ratio")
+        .set(s.blocks_scanned == 0
+                 ? 0.0
+                 : static_cast<double>(s.scans_contended) /
+                       static_cast<double>(s.blocks_scanned));
+    std::size_t replicas = 0;
+    for (const auto& dn : datanodes_) replicas += dn->block_count();
+    // > 1 means every replica has been visited at least once on average.
+    registry_.gauge("scrub.coverage")
+        .set(replicas == 0 ? 0.0
+                           : static_cast<double>(s.blocks_scanned) /
+                                 static_cast<double>(replicas));
+  }
+
+  if (master_ != nullptr) {
+    const MasterStats& m = master_->stats();
+    registry_.counter("ignem.master.requests").set(m.requests);
+    registry_.counter("ignem.master.migrate_commands").set(m.migrate_commands);
+    registry_.counter("ignem.master.evict_commands").set(m.evict_commands);
+    registry_.counter("ignem.master.batches_sent").set(m.batches_sent);
+  }
+  if (!slaves_.empty()) {
+    std::uint64_t migrations = 0, commands = 0, evictions = 0;
+    Bytes bytes = 0;
+    for (const auto& slave : slaves_) {
+      const SlaveStats& s = slave->stats();
+      migrations += s.migrations_completed;
+      commands += s.commands_received;
+      evictions += s.evictions;
+      bytes += s.bytes_migrated;
+    }
+    registry_.counter("ignem.migrations_completed").set(migrations);
+    registry_.counter("ignem.bytes_migrated")
+        .set(static_cast<std::uint64_t>(bytes));
+    registry_.counter("ignem.commands_received").set(commands);
+    registry_.counter("ignem.evictions").set(evictions);
+  }
+
+  std::uint64_t promotes = 0, demotes = 0, drops = 0, from_home = 0;
+  bool any_tiered = false;
+  for (const auto& dn : datanodes_) {
+    if (!dn->tiering_active()) continue;
+    any_tiered = true;
+    const TierHierarchy& tiers = dn->tiers();
+    promotes += tiers.total_promotes();
+    demotes += tiers.total_demotes();
+    drops += tiers.drops_to_home();
+    from_home += tiers.promotes_from_home();
+  }
+  if (any_tiered) {
+    registry_.counter("tier.promotes").set(promotes);
+    registry_.counter("tier.demotes").set(demotes);
+    registry_.counter("tier.drops_to_home").set(drops);
+    registry_.counter("tier.promotes_from_home").set(from_home);
+  }
+
+  report.summary.emplace_back("jobs",
+                              static_cast<double>(metrics_.jobs().size()));
+  report.summary.emplace_back("mean_job_duration_s",
+                              metrics_.mean_job_duration_seconds());
+  report.summary.emplace_back("memory_read_fraction",
+                              metrics_.memory_read_fraction());
+  report.summary.emplace_back(
+      "events_dispatched", static_cast<double>(sim_.events_dispatched()));
+  return report;
 }
 
 }  // namespace ignem

@@ -31,6 +31,8 @@
 #include "integrity/integrity_manager.h"
 #include "integrity/scrubber.h"
 #include "mapreduce/job_runner.h"
+#include "metrics/registry.h"
+#include "metrics/report.h"
 #include "metrics/run_metrics.h"
 #include "net/network.h"
 #include "obs/invariant_checker.h"
@@ -117,6 +119,11 @@ struct TestbedConfig {
   /// interleaving of same-microsecond events can differ, so this is off by
   /// default to keep pinned traces bit-identical.
   bool batch_periodics = false;
+  /// Wires the MetricsRegistry through every component and turns on kernel
+  /// self-profiling. Recording is purely passive (no events, no RNG, no
+  /// wall clock), so traces are bit-identical either way — metrics_test
+  /// pins that. On by default; the per-record cost is a few field updates.
+  bool enable_metrics = true;
 };
 
 /// A job plus its arrival offset from workload start.
@@ -196,6 +203,10 @@ class Testbed : public FaultTarget {
 
   Simulator& sim() { return sim_; }
   RunMetrics& metrics() { return metrics_; }
+  /// The run's instrument registry (always present; components only record
+  /// into it when config.enable_metrics wired them up).
+  MetricsRegistry& metrics_registry() { return registry_; }
+  const MetricsRegistry& metrics_registry() const { return registry_; }
   NameNode& namenode() { return *namenode_; }
   ResourceManager& resource_manager() { return *rm_; }
   DfsClient& dfs() { return *dfs_; }
@@ -245,6 +256,16 @@ class Testbed : public FaultTarget {
   /// consistent.
   std::string integrity_accounting_mismatch() const;
 
+  /// The config/build fingerprint this run stamps into reports. Mode is
+  /// deliberately excluded (see ConfigFingerprint).
+  ConfigFingerprint fingerprint() const;
+
+  /// Assembles the end-of-run structured report: fingerprint, kernel
+  /// self-profile, every component's stats mirrored into the registry, and
+  /// headline summary numbers. Call after the workload finishes; the report
+  /// borrows the registry, so write it before the Testbed dies.
+  RunReport build_run_report(const std::string& name);
+
  private:
   void sample_memory();
   bool run_workload_to(std::vector<ScheduledJob> jobs, SimTime deadline);
@@ -258,6 +279,7 @@ class Testbed : public FaultTarget {
   std::unique_ptr<InvariantChecker> checker_;
   Simulator sim_;
   RunMetrics metrics_;
+  MetricsRegistry registry_;
   Rng rng_;
 
   std::vector<std::unique_ptr<DataNode>> datanodes_;

@@ -80,6 +80,9 @@ class DataNode {
   /// inputs are generated before the measured run, as in the paper).
   void add_block(BlockId block, Bytes size);
   bool has_block(BlockId block) const { return blocks_.contains(block); }
+
+  /// Stored replicas on this node (the scrubber's per-node universe).
+  std::size_t block_count() const { return blocks_.size(); }
   Bytes block_size(BlockId block) const;
 
   /// Drops an invalidated replica from the node (NameNode decided the copy

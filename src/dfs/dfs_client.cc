@@ -10,6 +10,18 @@ DfsClient::DfsClient(Simulator& sim, NameNode& namenode, Network& network,
                      RunMetrics* metrics)
     : sim_(sim), namenode_(namenode), network_(network), metrics_(metrics) {}
 
+void DfsClient::set_metrics_registry(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    read_latency_ = nullptr;
+    read_latency_memory_ = nullptr;
+    read_latency_disk_ = nullptr;
+    return;
+  }
+  read_latency_ = &registry->histogram("dfs.read_latency_us");
+  read_latency_memory_ = &registry->histogram("dfs.read_latency_us.memory");
+  read_latency_disk_ = &registry->histogram("dfs.read_latency_us.disk");
+}
+
 NodeId DfsClient::choose_replica(NodeId reader, BlockId block) const {
   // A replica is reachable when its node is in the namespace map, its
   // process is up, and either the block sits in locked memory or the disk
@@ -67,6 +79,7 @@ void DfsClient::fail_read(NodeId reader, BlockId block, JobId job,
   record.start = start;
   record.duration = sim_.now() - start;
   record.failed = true;
+  ++stats_.reads_failed;
   if (metrics_ != nullptr) metrics_->add_block_read(record);
   on_complete(record);
 }
@@ -83,11 +96,13 @@ void DfsClient::attempt_read(NodeId reader, BlockId block, JobId job,
       fail_read(reader, block, job, start, on_complete);
       return;
     }
+    ++stats_.retries;
     sim_.schedule(kReadRetryDelay,
                   [this, reader, block, job, start,
                    cb = std::move(on_complete)]() mutable {
                     attempt_read(reader, block, job, start, std::move(cb));
-                  });
+                  },
+                  EventClass::kRetry);
     return;
   }
   DataNode* source_node = namenode_.datanode(source);
@@ -105,11 +120,14 @@ void DfsClient::attempt_read(NodeId reader, BlockId block, JobId job,
             fail_read(reader, block, job, start, cb);
             return;
           }
+          ++stats_.retries;
+          ++stats_.replica_failovers;
           sim_.schedule(kReadRetryDelay,
                         [this, reader, block, job, start, cb]() mutable {
                           attempt_read(reader, block, job, start,
                                        std::move(cb));
-                        });
+                        },
+                        EventClass::kRetry);
           return;
         }
         if (local.corrupt) {
@@ -122,6 +140,8 @@ void DfsClient::attempt_read(NodeId reader, BlockId block, JobId job,
             fail_read(reader, block, job, start, cb);
             return;
           }
+          ++stats_.retries;
+          ++stats_.checksum_failovers;
           const Duration delay = choose_replica(reader, block) == source
                                      ? kReadRetryDelay
                                      : Duration::zero();
@@ -129,7 +149,8 @@ void DfsClient::attempt_read(NodeId reader, BlockId block, JobId job,
                         [this, reader, block, job, start, cb]() mutable {
                           attempt_read(reader, block, job, start,
                                        std::move(cb));
-                        });
+                        },
+                        EventClass::kRetry);
           return;
         }
         auto finish = [this, reader, source, block, job, bytes, start, remote,
@@ -144,6 +165,15 @@ void DfsClient::attempt_read(NodeId reader, BlockId block, JobId job,
           record.duration = sim_.now() - start;
           record.from_memory = from_memory;
           record.remote = remote;
+          ++stats_.reads_completed;
+          if (from_memory) ++stats_.memory_reads;
+          if (remote) ++stats_.remote_reads;
+          if (read_latency_ != nullptr) {
+            const std::int64_t us = record.duration.count_micros();
+            read_latency_->record(us);
+            (from_memory ? read_latency_memory_ : read_latency_disk_)
+                ->record(us);
+          }
           if (metrics_ != nullptr) metrics_->add_block_read(record);
           cb(record);
         };

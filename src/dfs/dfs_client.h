@@ -11,11 +11,24 @@
 #include "common/ids.h"
 #include "dfs/migration_service.h"
 #include "dfs/namenode.h"
+#include "metrics/registry.h"
 #include "metrics/run_metrics.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 
 namespace ignem {
+
+/// Cumulative read-path counters, always maintained (they are plain field
+/// increments). Mirrored into the MetricsRegistry at report time.
+struct DfsStats {
+  std::uint64_t reads_completed = 0;   ///< Successful read_block completions.
+  std::uint64_t reads_failed = 0;      ///< Terminal deadline failures.
+  std::uint64_t memory_reads = 0;      ///< Served from a locked RAM copy.
+  std::uint64_t remote_reads = 0;      ///< Crossed the network.
+  std::uint64_t retries = 0;           ///< Re-attempts of any cause.
+  std::uint64_t replica_failovers = 0; ///< Source died mid-read.
+  std::uint64_t checksum_failovers = 0;///< Corrupt copy, failed over.
+};
 
 class DfsClient {
  public:
@@ -60,6 +73,14 @@ class DfsClient {
   void set_migration_service(MigrationService* service) { service_ = service; }
   bool has_migration_service() const { return service_ != nullptr; }
 
+  const DfsStats& stats() const { return stats_; }
+
+  /// Wires read-latency histograms (overall / memory-served / disk-served,
+  /// in simulated microseconds). Null (the default) records nothing beyond
+  /// the plain DfsStats counters. Recording is passive: it never schedules
+  /// events or consumes randomness, so traces are unchanged.
+  void set_metrics_registry(MetricsRegistry* registry);
+
   NameNode& namenode() { return namenode_; }
   const NameNode& namenode() const { return namenode_; }
 
@@ -82,6 +103,11 @@ class DfsClient {
   RunMetrics* metrics_;
   MigrationService* service_ = nullptr;
   Duration read_deadline_ = Duration::seconds(600);
+  DfsStats stats_;
+  // Cached instrument pointers (see set_metrics_registry); null when off.
+  HistogramMetric* read_latency_ = nullptr;
+  HistogramMetric* read_latency_memory_ = nullptr;
+  HistogramMetric* read_latency_disk_ = nullptr;
 };
 
 }  // namespace ignem

@@ -89,6 +89,12 @@ class NameNode {
   Duration liveness_timeout() const { return liveness_timeout_; }
   void record_heartbeat(NodeId id, SimTime now);
 
+  /// Time of the node's most recent heartbeat (zero before the first one).
+  /// The failure detector derives detection latency from it.
+  SimTime last_heartbeat(NodeId id) const {
+    return last_heartbeat_.at(static_cast<std::size_t>(id.value()));
+  }
+
   /// Nodes not yet marked dead whose last heartbeat is older than the
   /// liveness timeout at `now`. A node that has never beaten counts from
   /// its registration time.

@@ -56,10 +56,12 @@ void ReplicationManager::pump() {
 
 void ReplicationManager::retry_later(BlockId block) {
   --in_flight_;
-  sim_.schedule(kRetryDelay, [this, block] {
-    queue_.push_back(block);  // still in queued_: no duplicate scheduling
-    pump();
-  });
+  sim_.schedule(kRetryDelay,
+                [this, block] {
+                  queue_.push_back(block);  // still in queued_: no duplicate
+                  pump();
+                },
+                EventClass::kRetry);
   pump();
 }
 

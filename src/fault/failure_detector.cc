@@ -51,6 +51,10 @@ void FailureDetector::beat(NodeId node) {
 
 void FailureDetector::check() {
   for (const NodeId node : namenode_.expired_nodes(sim_.now())) {
+    if (detection_latency_ != nullptr) {
+      detection_latency_->record(
+          (sim_.now() - namenode_.last_heartbeat(node)).count_micros());
+    }
     if (trace_ != nullptr) {
       trace_->emit(TraceEventType::kFaultDetectedDead, node,
                    BlockId::invalid(), JobId::invalid(), 0, /*detail=*/0);

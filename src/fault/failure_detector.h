@@ -20,6 +20,7 @@
 #include "common/ids.h"
 #include "common/units.h"
 #include "dfs/namenode.h"
+#include "metrics/registry.h"
 #include "obs/trace_recorder.h"
 #include "sim/periodic.h"
 #include "sim/simulator.h"
@@ -63,6 +64,16 @@ class FailureDetector {
   /// (NameNode-side detection).
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
+  /// Wires the detection-latency histogram ("fault.detection_latency_us":
+  /// silence duration — now minus the dead node's last heartbeat — at the
+  /// moment of declaration). Null disables; recording is passive.
+  void set_metrics_registry(MetricsRegistry* registry) {
+    detection_latency_ =
+        registry == nullptr
+            ? nullptr
+            : &registry->histogram("fault.detection_latency_us");
+  }
+
  private:
   void beat(NodeId node);
   void check();
@@ -79,6 +90,7 @@ class FailureDetector {
   std::unique_ptr<PeriodicTask> monitor_;
   std::function<void(NodeId)> on_node_dead_;
   std::function<void(NodeId)> on_node_rejoined_;
+  HistogramMetric* detection_latency_ = nullptr;
 };
 
 }  // namespace ignem

@@ -41,6 +41,10 @@ void Scrubber::tick(std::size_t index) {
   if (!next.valid()) return;  // node holds no blocks
   cursors_[index] = next;
   ++stats_.blocks_scanned;
+  // Count before issuing our own read: anything in flight now (foreground
+  // reads, re-replication, an earlier scan still draining) is IO this scan
+  // will contend with.
+  if (dn->primary_device().active_requests() > 0) ++stats_.scans_contended;
   // With a tier hierarchy, promoted copies rot independently of the stored
   // replica; checksum them in the same pass (free in legacy mode — the
   // check is gated inside the DataNode, so traces and stats are untouched).

@@ -22,6 +22,10 @@ namespace ignem {
 struct ScrubberStats {
   std::uint64_t blocks_scanned = 0;
   std::uint64_t corrupt_found = 0;
+  /// Scans issued while the node's primary device already had foreground
+  /// requests in flight — the scrub-vs-foreground IO contention signal the
+  /// metrics plane surfaces as a gauge (scrub.contention_ratio).
+  std::uint64_t scans_contended = 0;
 };
 
 class Scrubber {

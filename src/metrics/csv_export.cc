@@ -8,6 +8,19 @@ namespace {
 const char* bool_str(bool b) { return b ? "1" : "0"; }
 }  // namespace
 
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
 void write_block_reads_csv(const RunMetrics& metrics, std::ostream& os) {
   os << "block,job,reader,bytes,start_s,duration_s,from_memory,remote\n";
   for (const auto& r : metrics.block_reads()) {
@@ -30,7 +43,7 @@ void write_tasks_csv(const RunMetrics& metrics, std::ostream& os) {
 void write_jobs_csv(const RunMetrics& metrics, std::ostream& os) {
   os << "job,name,input_bytes,submit_s,first_task_s,end_s,duration_s\n";
   for (const auto& j : metrics.jobs()) {
-    os << j.job << ',' << j.name << ',' << j.input_bytes << ','
+    os << j.job << ',' << csv_escape(j.name) << ',' << j.input_bytes << ','
        << j.submit.to_seconds() << ',' << j.first_task_start.to_seconds()
        << ',' << j.end.to_seconds() << ',' << j.duration.to_seconds() << '\n';
   }
@@ -82,10 +95,22 @@ void write_tier_cost_csv(const std::vector<TierSpec>& tiers,
   os << "tier,capacity_gib,cost_per_gib,cost\n";
   for (const TierSpec& tier : tiers) {
     const double gib = static_cast<double>(tier.capacity) / kGiB;
-    os << tier.name << ',' << gib << ',' << tier.cost_per_gib << ','
-       << tier.cost_per_gib * gib << '\n';
+    os << csv_escape(tier.name) << ',' << gib << ',' << tier.cost_per_gib
+       << ',' << tier.cost_per_gib * gib << '\n';
   }
   os << "total,,," << tier_cost_total(tiers) << '\n';
+}
+
+void write_timeseries_csv(const MetricsRegistry& registry, std::ostream& os) {
+  os << "series,window_us,start_s,last,min,max,mean,count\n";
+  for (const auto& [name, series] : registry.series()) {
+    for (const TimeSeries::Window& w : series.windows()) {
+      os << csv_escape(name) << ',' << series.window().count_micros() << ','
+         << static_cast<double>(w.start_micros) / 1e6 << ',' << w.last << ','
+         << w.min << ',' << w.max << ',' << w.mean() << ',' << w.count
+         << '\n';
+    }
+  }
 }
 
 }  // namespace ignem

@@ -4,12 +4,20 @@
 #include <ostream>
 #include <vector>
 
+#include <string>
+
 #include "integrity/integrity_manager.h"
 #include "integrity/scrubber.h"
+#include "metrics/registry.h"
 #include "metrics/run_metrics.h"
 #include "storage/tier.h"
 
 namespace ignem {
+
+/// RFC-4180 field escaping: fields containing a comma, quote, or newline are
+/// wrapped in quotes with internal quotes doubled; everything else passes
+/// through untouched.
+std::string csv_escape(const std::string& field);
 
 /// block,job,reader,bytes,start_s,duration_s,from_memory,remote
 void write_block_reads_csv(const RunMetrics& metrics, std::ostream& os);
@@ -44,5 +52,10 @@ void write_tier_cost_csv(const std::vector<TierSpec>& tiers, std::ostream& os);
 
 /// Total acquisition cost of one node's hierarchy (sum of capacity × $/GiB).
 double tier_cost_total(const std::vector<TierSpec>& tiers);
+
+/// series,window_us,start_s,last,min,max,mean,count — one row per recorded
+/// window of every TimeSeries in the registry, in sorted series-name order.
+/// A registry with no series (or only empty ones) writes the header alone.
+void write_timeseries_csv(const MetricsRegistry& registry, std::ostream& os);
 
 }  // namespace ignem

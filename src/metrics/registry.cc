@@ -1,0 +1,20 @@
+#include "metrics/registry.h"
+
+#include "common/check.h"
+
+namespace ignem {
+
+TimeSeries& MetricsRegistry::series(const std::string& name, Duration window) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_.emplace(name, TimeSeries(window)).first;
+  } else {
+    IGNEM_CHECK_MSG(it->second.window() == window,
+                    "series '" << name << "' re-opened with window "
+                               << window.count_micros() << "us, was "
+                               << it->second.window().count_micros() << "us");
+  }
+  return it->second;
+}
+
+}  // namespace ignem

@@ -1,0 +1,224 @@
+#include "metrics/report.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace ignem {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = kFnvOffset;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016" PRIx64, v);
+  return buf;
+}
+
+const char* bool_json(bool b) { return b ? "true" : "false"; }
+
+void pad(std::ostream& os, int indent) {
+  for (int i = 0; i < indent; ++i) os.put(' ');
+}
+
+}  // namespace
+
+std::string format_json_double(double v) {
+  if (std::isnan(v)) return "\"nan\"";
+  if (std::isinf(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
+  char buf[40];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  std::string out = buf;
+  // Bare integers are still doubles; keep them unambiguous for readers that
+  // type-switch on the token ("1" -> "1.0" stays a float everywhere).
+  if (out.find_first_of(".eEn") == std::string::npos) out += ".0";
+  return out;
+}
+
+std::string json_quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string ConfigFingerprint::canonical() const {
+  std::ostringstream os;
+  os << "batch_periodics=" << bool_json(batch_periodics)
+     << " fault_tolerance=" << bool_json(fault_tolerance)
+     << " nodes=" << nodes << " queue_backend=" << queue_backend
+     << " replication=" << replication << " scrubber=" << bool_json(scrubber)
+     << " seed=" << seed << " settle_mode=" << settle_mode
+     << " storage_media=" << storage_media << " tier_count=" << tier_count
+     << " tier_policy=" << tier_policy;
+  return os.str();
+}
+
+std::uint64_t ConfigFingerprint::hash() const { return fnv1a(canonical()); }
+
+void ConfigFingerprint::write_json(std::ostream& os, int indent) const {
+  os << "{\n";
+  const auto field = [&](const char* key, const std::string& value,
+                         bool last = false) {
+    pad(os, indent + 2);
+    os << '"' << key << "\": " << value << (last ? "\n" : ",\n");
+  };
+  field("queue_backend", json_quote(queue_backend));
+  field("settle_mode", json_quote(settle_mode));
+  field("batch_periodics", bool_json(batch_periodics));
+  field("seed", std::to_string(seed));
+  field("nodes", std::to_string(nodes));
+  field("replication", std::to_string(replication));
+  field("storage_media", json_quote(storage_media));
+  field("tier_policy", json_quote(tier_policy));
+  field("tier_count", std::to_string(tier_count));
+  field("fault_tolerance", bool_json(fault_tolerance));
+  field("scrubber", bool_json(scrubber));
+  field("hash", json_quote(hex64(hash())), /*last=*/true);
+  pad(os, indent);
+  os << '}';
+}
+
+void RunReport::write_json(std::ostream& os) const {
+  os << "{\n";
+  os << "  \"name\": " << json_quote(name) << ",\n";
+  if (!mode.empty()) os << "  \"mode\": " << json_quote(mode) << ",\n";
+  os << "  \"fingerprint\": ";
+  fingerprint.write_json(os, 2);
+  os << ",\n";
+
+  if (has_kernel) {
+    os << "  \"kernel\": {\n";
+    os << "    \"events_dispatched\": " << kernel.events_dispatched << ",\n";
+    os << "    \"max_pending\": " << kernel.max_pending << ",\n";
+    os << "    \"mean_pending\": " << format_json_double(kernel.mean_pending())
+       << ",\n";
+    for (std::size_t i = 0; i < kEventClassCount; ++i) {
+      os << "    \"class." << event_class_name(static_cast<EventClass>(i))
+         << "\": " << kernel.class_counts[i] << ",\n";
+    }
+    os << "    \"alloc.heap_allocs\": " << alloc_deltas.heap_allocs << ",\n";
+    os << "    \"alloc.heap_frees\": " << alloc_deltas.heap_frees << ",\n";
+    os << "    \"alloc.pool_hits\": " << alloc_deltas.pool_hits << ",\n";
+    os << "    \"alloc.chunk_carves\": " << alloc_deltas.chunk_carves << ",\n";
+    os << "    \"alloc.container_growths\": " << alloc_deltas.container_growths
+       << "\n  },\n";
+  }
+
+  if (registry != nullptr) {
+    os << "  \"counters\": {";
+    bool first = true;
+    for (const auto& [cname, c] : registry->counters()) {
+      os << (first ? "\n" : ",\n") << "    " << json_quote(cname) << ": "
+         << c.value();
+      first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n";
+
+    os << "  \"gauges\": {";
+    first = true;
+    for (const auto& [gname, g] : registry->gauges()) {
+      os << (first ? "\n" : ",\n") << "    " << json_quote(gname) << ": "
+         << format_json_double(g.value());
+      first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n";
+
+    os << "  \"histograms\": {";
+    first = true;
+    for (const auto& [hname, h] : registry->histograms()) {
+      os << (first ? "\n" : ",\n") << "    " << json_quote(hname) << ": {"
+         << "\"count\": " << h.count() << ", \"sum\": " << h.sum()
+         << ", \"min\": " << h.min() << ", \"max\": " << h.max()
+         << ", \"mean\": " << format_json_double(h.mean())
+         << ", \"buckets\": [";
+      bool bfirst = true;
+      for (std::size_t i = 0; i < HistogramMetric::kBuckets; ++i) {
+        if (h.bucket_count(i) == 0) continue;
+        if (!bfirst) os << ", ";
+        os << "[" << HistogramMetric::bucket_lo(i) << ", "
+           << h.bucket_count(i) << "]";
+        bfirst = false;
+      }
+      os << "]}";
+      first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n";
+
+    os << "  \"series\": {";
+    first = true;
+    for (const auto& [sname, s] : registry->series()) {
+      os << (first ? "\n" : ",\n") << "    " << json_quote(sname) << ": {"
+         << "\"window_us\": " << s.window().count_micros()
+         << ", \"samples\": [";
+      bool wfirst = true;
+      for (const TimeSeries::Window& w : s.windows()) {
+        if (!wfirst) os << ", ";
+        os << "[" << w.start_micros << ", " << format_json_double(w.last)
+           << ", " << format_json_double(w.min) << ", "
+           << format_json_double(w.max) << ", "
+           << format_json_double(w.mean()) << ", " << w.count << "]";
+        wfirst = false;
+      }
+      os << "]}";
+      first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n";
+  }
+
+  os << "  \"summary\": {";
+  bool first = true;
+  for (const auto& [sname, v] : summary) {
+    os << (first ? "\n" : ",\n") << "    " << json_quote(sname) << ": "
+       << format_json_double(v);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n";
+  os << "}\n";
+}
+
+}  // namespace ignem

@@ -1,0 +1,85 @@
+// Structured end-of-run reports.
+//
+// A RunReport is the single JSON artifact a run leaves behind: the config
+// fingerprint that identifies what was run, the kernel self-profile, every
+// instrument in the run's MetricsRegistry, and a flat summary section of
+// headline numbers. Everything in it is derived from simulated time and
+// deterministic state — never the wall clock — so two identical seeded runs
+// emit byte-identical files (pinned by metrics_test).
+//
+// The ConfigFingerprint deliberately excludes RunMode: a bench that sweeps
+// several modes over one cluster shape shares a single fingerprint, and the
+// mode appears at the report's top level instead.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+#include "metrics/registry.h"
+#include "sim/simulator.h"
+
+namespace ignem {
+
+/// Identifies the knobs that shape a run's event stream: kernel backend and
+/// batching choices, cluster shape, seed, and storage/tiering/fault
+/// configuration. Stamped into every RunReport and BENCH_*.json so a result
+/// can never be compared against the wrong configuration silently.
+struct ConfigFingerprint {
+  std::string queue_backend = "ladder";  ///< Simulator::queue_backend().
+  std::string settle_mode = "per_op";    ///< SharedBandwidthResource mode.
+  bool batch_periodics = false;
+  std::uint64_t seed = 0;
+  int nodes = 0;
+  int replication = 0;
+  std::string storage_media;             ///< media_name() of the primary.
+  std::string tier_policy;               ///< tier_policy_name(); "" = legacy.
+  int tier_count = 0;
+  bool fault_tolerance = false;
+  bool scrubber = false;
+
+  /// FNV-1a over the canonical field serialization; equal fingerprints hash
+  /// equal, and the hash survives into artifacts that drop the full object.
+  std::uint64_t hash() const;
+
+  /// Canonical "k=v k=v ..." form (sorted, stable) — the hashed text.
+  std::string canonical() const;
+
+  void write_json(std::ostream& os, int indent) const;
+};
+
+/// The end-of-run structured report. Build one (Testbed::build_run_report or
+/// by hand in a bench), then write_json() it to REPORT_<name>.json.
+struct RunReport {
+  std::string name;
+  std::string mode;  ///< run_mode_name(); empty for non-testbed runs.
+  ConfigFingerprint fingerprint;
+
+  /// Kernel self-profile (present when the simulator ran with profiling).
+  bool has_kernel = false;
+  KernelProfile kernel;
+  /// Allocator-counter deltas over the profiled window.
+  KernelAllocCounters alloc_deltas{};
+
+  /// Headline numbers (job durations, hit fractions) in insertion order.
+  std::vector<std::pair<std::string, double>> summary;
+
+  /// Instruments to embed; null embeds none. Not owned — must outlive the
+  /// report.
+  const MetricsRegistry* registry = nullptr;
+
+  void write_json(std::ostream& os) const;
+};
+
+/// Formats a double so the text round-trips to the same bits: the shortest
+/// of %.15g/%.16g/%.17g that parses back exactly. Infinities and NaN (not
+/// valid JSON) render as quoted strings.
+std::string format_json_double(double v);
+
+/// Escapes a string for inclusion in a JSON document (quotes included).
+std::string json_quote(const std::string& s);
+
+}  // namespace ignem

@@ -29,21 +29,24 @@ void Network::transfer(NodeId src, NodeId dst, Bytes bytes,
   IGNEM_CHECK(bytes >= 0);
   if (src == dst) {
     // Intra-node handoff: no NIC involved.
-    sim_.schedule(Duration::micros(10), std::move(on_complete));
+    sim_.schedule(Duration::micros(10), std::move(on_complete),
+                  EventClass::kTransfer);
     return;
   }
-  sim_.schedule(profile_.rtt, [this, src, bytes,
-                               cb = std::move(on_complete)]() mutable {
-    nic(src).start(bytes, std::move(cb));
-  });
+  sim_.schedule(profile_.rtt,
+                [this, src, bytes, cb = std::move(on_complete)]() mutable {
+                  nic(src).start(bytes, std::move(cb));
+                },
+                EventClass::kTransfer);
 }
 
 void Network::ingress_transfer(NodeId dst, Bytes bytes, Callback on_complete) {
   IGNEM_CHECK(bytes >= 0);
-  sim_.schedule(profile_.rtt, [this, dst, bytes,
-                               cb = std::move(on_complete)]() mutable {
-    nic(dst).start(bytes, std::move(cb));
-  });
+  sim_.schedule(profile_.rtt,
+                [this, dst, bytes, cb = std::move(on_complete)]() mutable {
+                  nic(dst).start(bytes, std::move(cb));
+                },
+                EventClass::kTransfer);
 }
 
 Bytes Network::total_bytes_sent(NodeId node) const {

@@ -21,15 +21,36 @@ EventQueue::EventQueue(Backend backend, LadderConfig ladder)
   }
 }
 
-std::uint32_t EventQueue::acquire_slot(Action action) {
+const char* event_class_name(EventClass cls) {
+  switch (cls) {
+    case EventClass::kGeneric:
+      return "generic";
+    case EventClass::kTransfer:
+      return "transfer";
+    case EventClass::kPeriodic:
+      return "periodic";
+    case EventClass::kRpc:
+      return "rpc";
+    case EventClass::kMigration:
+      return "migration";
+    case EventClass::kRetry:
+      return "retry";
+  }
+  return "unknown";
+}
+
+std::uint32_t EventQueue::acquire_slot(Action action, EventClass cls) {
   if (free_head_ != kNoSlot) {
     const std::uint32_t slot = free_head_;
     free_head_ = slots_[slot].next_free;
     slots_[slot].action = std::move(action);
+    slots_[slot].cls = cls;
     return slot;
   }
   IGNEM_CHECK(slots_.size() < kNoSlot);
-  slots_.emplace_back().action = std::move(action);
+  Slot& s = slots_.emplace_back();
+  s.action = std::move(action);
+  s.cls = cls;
   return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
@@ -41,9 +62,9 @@ void EventQueue::release_slot(std::uint32_t slot) {
   free_head_ = slot;
 }
 
-EventHandle EventQueue::push(SimTime when, Action action) {
+EventHandle EventQueue::push(SimTime when, Action action, EventClass cls) {
   IGNEM_CHECK(action != nullptr);
-  const std::uint32_t slot = acquire_slot(std::move(action));
+  const std::uint32_t slot = acquire_slot(std::move(action), cls);
   const std::uint64_t seq = next_seq_++;
   const HeapEntry entry{when.count_micros(), seq, slot};
   ++live_;
@@ -112,6 +133,7 @@ std::pair<SimTime, EventQueue::Action> EventQueue::pop() {
   const HeapEntry top = min;
   std::pair<SimTime, Action> result{SimTime(top.when_micros),
                                     std::move(slots_[top.slot].action)};
+  last_cls_ = slots_[top.slot].cls;
   // The action has been moved out; release still clears the husk.
   release_slot(top.slot);
   if (from_bottom) {

@@ -41,6 +41,22 @@
 
 namespace ignem {
 
+/// Coarse classification of a scheduled event, carried as slot metadata for
+/// the kernel self-profile (Simulator::profile()). Purely observational: it
+/// never participates in ordering, hashing, or dispatch, so tagging a site
+/// cannot change a trace.
+enum class EventClass : std::uint8_t {
+  kGeneric = 0,   ///< Untagged (job control flow, tests).
+  kTransfer,      ///< Bandwidth-channel completions and settle flushes.
+  kPeriodic,      ///< Heartbeats, monitors, samplers, scrub ticks.
+  kRpc,           ///< Control-plane RPC latencies (master/NN messaging).
+  kMigration,     ///< Ignem slave wakes and migration pacing.
+  kRetry,         ///< DFS read retry/failover backoff.
+};
+inline constexpr std::size_t kEventClassCount = 6;
+
+const char* event_class_name(EventClass cls);
+
 /// Opaque handle identifying a scheduled event; usable to cancel it.
 /// Internally packs (slot + 1, generation); 0 is reserved for "invalid".
 class EventHandle {
@@ -89,7 +105,8 @@ class EventQueue {
   EventQueue& operator=(const EventQueue&) = delete;
 
   /// Adds an event; returns a handle to cancel it later.
-  EventHandle push(SimTime when, Action action);
+  EventHandle push(SimTime when, Action action,
+                   EventClass cls = EventClass::kGeneric);
 
   /// Removes a pending event in O(log n) (O(1) for bucketed events).
   /// Returns false if the handle was already fired, already cancelled, or
@@ -107,6 +124,10 @@ class EventQueue {
 
   /// Removes and returns the earliest live event. Requires !empty().
   std::pair<SimTime, Action> pop();
+
+  /// Class tag of the event the last pop() returned (profiling metadata;
+  /// read it before the next pop).
+  EventClass last_popped_class() const { return last_cls_; }
 
   Backend backend() const { return backend_; }
 
@@ -138,6 +159,7 @@ class EventQueue {
     std::uint32_t pos = 0;     ///< Index within the containing structure.
     std::uint32_t bucket = 0;  ///< Ring index, valid when where == kInBucket.
     Where where = kInFar;
+    EventClass cls = EventClass::kGeneric;  ///< Profiling tag (see push).
     std::uint32_t next_free = kNoSlot;  // valid only while on the free list
   };
 
@@ -145,7 +167,7 @@ class EventQueue {
     return (static_cast<std::uint64_t>(slot) + 1) << 32 | gen;
   }
 
-  std::uint32_t acquire_slot(Action action);
+  std::uint32_t acquire_slot(Action action, EventClass cls);
   void release_slot(std::uint32_t slot);
 
   // Generic 4-ary heap machinery shared by the far heap and the bottom.
@@ -198,6 +220,7 @@ class EventQueue {
   std::uint32_t free_head_ = kNoSlot;
   std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;
+  EventClass last_cls_ = EventClass::kGeneric;
 };
 
 }  // namespace ignem

@@ -26,7 +26,8 @@ class PeriodicTask {
                Tick tick)
       : sim_(sim), period_(period), tick_(std::move(tick)) {
     IGNEM_CHECK(period_ > Duration::zero());
-    handle_ = sim_.schedule(initial_delay, [this] { fire(); });
+    handle_ =
+        sim_.schedule(initial_delay, [this] { fire(); }, EventClass::kPeriodic);
   }
 
   ~PeriodicTask() { stop(); }
@@ -47,7 +48,8 @@ class PeriodicTask {
 
  private:
   void fire() {
-    handle_ = sim_.schedule(period_, [this] { fire(); });
+    handle_ =
+        sim_.schedule(period_, [this] { fire(); }, EventClass::kPeriodic);
     tick_();
   }
 
@@ -165,7 +167,8 @@ class PeriodicCohort {
       sim_.cancel(handle_);
     }
     scheduled_for_ = front;
-    handle_ = sim_.schedule_at(front, [this] { fire(); });
+    handle_ =
+        sim_.schedule_at(front, [this] { fire(); }, EventClass::kPeriodic);
   }
 
   Simulator& sim_;

@@ -4,19 +4,28 @@
 
 namespace ignem {
 
-EventHandle Simulator::schedule(Duration delay, Action action) {
+EventHandle Simulator::schedule(Duration delay, Action action,
+                                EventClass cls) {
   IGNEM_CHECK(delay >= Duration::zero());
-  return queue_.push(now_ + delay, std::move(action));
+  return queue_.push(now_ + delay, std::move(action), cls);
 }
 
-EventHandle Simulator::schedule_at(SimTime when, Action action) {
+EventHandle Simulator::schedule_at(SimTime when, Action action,
+                                   EventClass cls) {
   IGNEM_CHECK_MSG(when >= now_, "cannot schedule in the past: when="
                                     << when.to_string()
                                     << " now=" << now_.to_string());
-  return queue_.push(when, std::move(action));
+  return queue_.push(when, std::move(action), cls);
 }
 
 bool Simulator::cancel(EventHandle handle) { return queue_.cancel(handle); }
+
+void Simulator::enable_profiling(bool on) {
+  if (on && !profiling_) {
+    profile_.alloc_at_enable = kernel_alloc_counters();
+  }
+  profiling_ = on;
+}
 
 std::uint64_t Simulator::run(SimTime until) {
   return run_until([] { return false; }, until);
@@ -36,6 +45,15 @@ std::uint64_t Simulator::run_until(const std::function<bool()>& done,
     auto [when, action] = queue_.pop();
     IGNEM_CHECK(when >= now_);
     now_ = when;
+    if (profiling_) {
+      ++profile_.events_dispatched;
+      ++profile_.class_counts[static_cast<std::size_t>(
+          queue_.last_popped_class())];
+      // Depth right after the pop: the events this one contends with.
+      const std::uint64_t depth = queue_.live_count();
+      profile_.pending_sum += depth;
+      if (depth > profile_.max_pending) profile_.max_pending = depth;
+    }
     action();
     ++n;
     ++dispatched_;

@@ -8,14 +8,40 @@
 // of simulated time runs in well under a second of wall time).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 
+#include "common/slab_pool.h"
 #include "common/units.h"
 #include "obs/trace_recorder.h"
 #include "sim/event_queue.h"
 
 namespace ignem {
+
+/// Kernel self-profile accumulated while profiling is enabled (see
+/// Simulator::enable_profiling). Everything here is a pure function of the
+/// dispatch stream — no wall clock — so two identical seeded runs produce
+/// identical profiles and the numbers can appear in deterministic reports.
+struct KernelProfile {
+  std::uint64_t events_dispatched = 0;
+  /// Peak live-event count observed at dispatch time.
+  std::uint64_t max_pending = 0;
+  /// Sum of live-event counts over dispatches (mean = sum / dispatched).
+  std::uint64_t pending_sum = 0;
+  /// Dispatches by EventClass tag (index = static_cast<size_t>(cls)).
+  std::array<std::uint64_t, kEventClassCount> class_counts{};
+  /// Thread-local allocator counters snapshotted when profiling was enabled;
+  /// subtract from kernel_alloc_counters() for the run's deltas.
+  KernelAllocCounters alloc_at_enable{};
+
+  double mean_pending() const {
+    return events_dispatched == 0
+               ? 0.0
+               : static_cast<double>(pending_sum) /
+                     static_cast<double>(events_dispatched);
+  }
+};
 
 class Simulator {
  public:
@@ -31,11 +57,14 @@ class Simulator {
   /// Current simulated time.
   SimTime now() const { return now_; }
 
-  /// Schedules `action` to run `delay` from now. Delay must be >= 0.
-  EventHandle schedule(Duration delay, Action action);
+  /// Schedules `action` to run `delay` from now. Delay must be >= 0. The
+  /// class tag is profiling metadata only (see EventClass).
+  EventHandle schedule(Duration delay, Action action,
+                       EventClass cls = EventClass::kGeneric);
 
   /// Schedules `action` at an absolute time >= now().
-  EventHandle schedule_at(SimTime when, Action action);
+  EventHandle schedule_at(SimTime when, Action action,
+                          EventClass cls = EventClass::kGeneric);
 
   /// Cancels a previously scheduled event; false if it already fired.
   bool cancel(EventHandle handle);
@@ -61,11 +90,27 @@ class Simulator {
   /// Emits kSimRunStart/kSimRunEnd around each run; null disables.
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
+  /// Turns on per-dispatch self-profiling (class counts, queue depth,
+  /// allocator deltas). Off by default: the unprofiled dispatch loop pays
+  /// one branch per event. Enabling snapshots the allocator counters.
+  void enable_profiling(bool on = true);
+  bool profiling_enabled() const { return profiling_; }
+  const KernelProfile& profile() const { return profile_; }
+
+  /// Name of the active event-queue backend ("ladder" or "heap"), for
+  /// config fingerprints.
+  const char* queue_backend() const {
+    return queue_.backend() == EventQueue::Backend::kLadder ? "ladder"
+                                                            : "heap";
+  }
+
  private:
   SimTime now_ = SimTime::zero();
   EventQueue queue_;
   bool stop_requested_ = false;
+  bool profiling_ = false;
   std::uint64_t dispatched_ = 0;
+  KernelProfile profile_;
   TraceRecorder* trace_ = nullptr;
 };
 

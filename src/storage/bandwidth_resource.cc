@@ -205,7 +205,8 @@ void SharedBandwidthResource::schedule_completion() {
     eta = Duration::micros(std::max<std::int64_t>(
         1, static_cast<std::int64_t>(std::ceil(seconds * 1e6))));
   }
-  pending_event_ = sim_.schedule(eta, [this] { on_completion_event(); });
+  pending_event_ = sim_.schedule(eta, [this] { on_completion_event(); },
+                                 EventClass::kTransfer);
 }
 
 void SharedBandwidthResource::reschedule() {
@@ -217,7 +218,8 @@ void SharedBandwidthResource::reschedule() {
 void SharedBandwidthResource::request_flush() {
   if (epoch_dirty_) return;
   epoch_dirty_ = true;
-  flush_event_ = sim_.schedule(Duration::zero(), [this] { flush_epoch(); });
+  flush_event_ = sim_.schedule(Duration::zero(), [this] { flush_epoch(); },
+                               EventClass::kTransfer);
 }
 
 void SharedBandwidthResource::flush_epoch() {

@@ -171,5 +171,67 @@ TEST(CsvExport, EmptyMetricsWriteHeadersOnly) {
   EXPECT_EQ(line_count(os.str()), 5u);
 }
 
+TEST(CsvExport, EscapePassesPlainFieldsThrough) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape(""), "");
+  EXPECT_EQ(csv_escape("under_score-dash.dot"), "under_score-dash.dot");
+}
+
+TEST(CsvExport, EscapeQuotesSpecialFields) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(CsvExport, JobNameWithCommaIsQuoted) {
+  RunMetrics metrics;
+  JobRecord job;
+  job.job = JobId(1);
+  job.name = "scan, phase 2";
+  metrics.add_job(job);
+  std::ostringstream os;
+  write_jobs_csv(metrics, os);
+  EXPECT_NE(os.str().find("1,\"scan, phase 2\","), std::string::npos);
+}
+
+TEST(CsvExport, TierCostNameWithCommaIsQuoted) {
+  std::vector<TierSpec> tiers;
+  tiers.push_back({"ram, locked", DeviceProfile{}, 1 * kGiB, 10.0});
+  std::ostringstream os;
+  write_tier_cost_csv(tiers, os);
+  EXPECT_NE(os.str().find("\"ram, locked\",1,10,10"), std::string::npos);
+}
+
+TEST(CsvExport, TimeseriesEmptyRegistryIsHeaderOnly) {
+  MetricsRegistry registry;
+  std::ostringstream os;
+  write_timeseries_csv(registry, os);
+  EXPECT_EQ(os.str(), "series,window_us,start_s,last,min,max,mean,count\n");
+}
+
+TEST(CsvExport, TimeseriesEmptySeriesWritesNoRows) {
+  MetricsRegistry registry;
+  registry.series("never.recorded", Duration::seconds(1.0));
+  std::ostringstream os;
+  write_timeseries_csv(registry, os);
+  EXPECT_EQ(line_count(os.str()), 1u);
+}
+
+TEST(CsvExport, TimeseriesRowsPerWindow) {
+  MetricsRegistry registry;
+  TimeSeries& s = registry.series("tier.occupancy.t0", Duration::seconds(1.0));
+  s.record(SimTime(500'000), 0.25);
+  s.record(SimTime(900'000), 0.75);
+  s.record(SimTime(2'100'000), 1.0);  // skips a window; no gap row emitted
+  std::ostringstream os;
+  write_timeseries_csv(registry, os);
+  const std::string out = os.str();
+  EXPECT_EQ(line_count(out), 3u);
+  EXPECT_NE(out.find("tier.occupancy.t0,1000000,0,0.75,0.25,0.75,0.5,2"),
+            std::string::npos);
+  EXPECT_NE(out.find("tier.occupancy.t0,1000000,2,1,1,1,1,1"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace ignem

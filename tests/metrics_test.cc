@@ -1,0 +1,360 @@
+// The metrics plane's contract tests.
+//
+// Three layers of guarantees are pinned here:
+//   1. Instrument semantics — log2 histogram geometry and exact merges,
+//      windowed time-series rollover, registry identity and window checks.
+//   2. Determinism — two identical seeded runs emit byte-identical
+//      RunReport JSON (each run in a fresh thread so thread_local kernel
+//      alloc counters start cold, exactly like two separate processes).
+//   3. Inertness — recording metrics never perturbs the simulation: the
+//      same seeded run produces the same trace hash and dispatched-event
+//      count with metrics enabled and disabled. Combined with the pinned
+//      hashes in kernel_regression_test (which run with metrics on), this
+//      proves the plane is passive.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "common/check.h"
+#include "core/testbed.h"
+#include "metrics/instruments.h"
+#include "metrics/registry.h"
+#include "metrics/report.h"
+#include "workload/swim.h"
+
+namespace ignem {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Instruments
+
+TEST(CounterMetric, AddsAndSets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  c.set(2);
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(GaugeMetric, SetsAndAccumulates) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(1.5);
+  g.add(0.25);
+  EXPECT_DOUBLE_EQ(g.value(), 1.75);
+}
+
+TEST(HistogramMetricTest, BucketEdgesArePowersOfTwo) {
+  EXPECT_EQ(HistogramMetric::bucket_lo(0), 0);
+  EXPECT_EQ(HistogramMetric::bucket_hi(0), 1);
+  EXPECT_EQ(HistogramMetric::bucket_lo(1), 1);
+  EXPECT_EQ(HistogramMetric::bucket_hi(1), 2);
+  EXPECT_EQ(HistogramMetric::bucket_lo(10), 512);
+  EXPECT_EQ(HistogramMetric::bucket_hi(10), 1024);
+  EXPECT_EQ(HistogramMetric::bucket_hi(63), INT64_MAX);
+}
+
+TEST(HistogramMetricTest, SamplesLandInBitWidthBuckets) {
+  HistogramMetric h;
+  h.record(0);     // bucket 0 = {0}
+  h.record(1);     // bucket 1 = [1, 2)
+  h.record(3);     // bucket 2 = [2, 4)
+  h.record(1000);  // bucket 10 = [512, 1024)
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(10), 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 1004);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_DOUBLE_EQ(h.mean(), 251.0);
+}
+
+TEST(HistogramMetricTest, NegativeSamplesClampToZero) {
+  HistogramMetric h;
+  h.record(-42);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.min(), 0);
+}
+
+TEST(HistogramMetricTest, EmptyStatsAreZero) {
+  const HistogramMetric h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramMetricTest, MergeIsExact) {
+  HistogramMetric a;
+  a.record(1);
+  a.record(100);
+  HistogramMetric b;
+  b.record(7);
+  b.record(5000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 5108);
+  EXPECT_EQ(a.min(), 1);
+  EXPECT_EQ(a.max(), 5000);
+  EXPECT_EQ(a.bucket_count(3), 1u);   // 7 lives in [4, 8)
+  EXPECT_EQ(a.bucket_count(13), 1u);  // 5000 lives in [4096, 8192)
+}
+
+TEST(HistogramMetricTest, MergeOfEmptyPreservesMinMax) {
+  HistogramMetric a;
+  a.record(5);
+  a.merge(HistogramMetric{});
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 5);
+  HistogramMetric empty;
+  empty.merge(a);
+  EXPECT_EQ(empty.min(), 5);
+  EXPECT_EQ(empty.max(), 5);
+}
+
+TEST(TimeSeriesTest, AggregatesWithinOneWindow) {
+  TimeSeries s(Duration::seconds(1.0));
+  s.record(SimTime(100'000), 2.0);
+  s.record(SimTime(800'000), 6.0);
+  ASSERT_EQ(s.windows().size(), 1u);
+  const TimeSeries::Window& w = s.windows()[0];
+  EXPECT_EQ(w.start_micros, 0);
+  EXPECT_DOUBLE_EQ(w.last, 6.0);
+  EXPECT_DOUBLE_EQ(w.min, 2.0);
+  EXPECT_DOUBLE_EQ(w.max, 6.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 4.0);
+  EXPECT_EQ(w.count, 2u);
+}
+
+TEST(TimeSeriesTest, RollsOverOnAlignedBoundariesAndSkipsGaps) {
+  TimeSeries s(Duration::seconds(1.0));
+  s.record(SimTime(900'000), 1.0);
+  s.record(SimTime(1'000'000), 2.0);  // exactly on the boundary: new window
+  s.record(SimTime(5'500'000), 3.0);  // windows 2..4 had no samples: absent
+  ASSERT_EQ(s.windows().size(), 3u);
+  EXPECT_EQ(s.windows()[0].start_micros, 0);
+  EXPECT_EQ(s.windows()[1].start_micros, 1'000'000);
+  EXPECT_EQ(s.windows()[2].start_micros, 5'000'000);
+}
+
+TEST(TimeSeriesTest, OutOfOrderRecordTripsCheck) {
+  TimeSeries s(Duration::seconds(1.0));
+  s.record(SimTime(2'500'000), 1.0);
+  s.record(SimTime(2'900'000), 2.0);  // same window: fine
+  EXPECT_THROW(s.record(SimTime(1'000'000), 3.0), CheckFailure);
+}
+
+TEST(TimeSeriesTest, RejectsNonPositiveWindow) {
+  EXPECT_THROW(TimeSeries(Duration::zero()), CheckFailure);
+}
+
+TEST(RegistryTest, InstrumentsAreCreatedOnceWithStableIdentity) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("a.count");
+  c.add(3);
+  EXPECT_EQ(&registry.counter("a.count"), &c);
+  EXPECT_EQ(registry.counter("a.count").value(), 3u);
+  TimeSeries& s = registry.series("a.series", Duration::seconds(1.0));
+  EXPECT_EQ(&registry.series("a.series", Duration::seconds(1.0)), &s);
+  EXPECT_EQ(registry.counters().size(), 1u);
+  EXPECT_EQ(registry.series().size(), 1u);
+}
+
+TEST(RegistryTest, SeriesWindowMismatchTripsCheck) {
+  MetricsRegistry registry;
+  registry.series("x", Duration::seconds(1.0));
+  EXPECT_THROW(registry.series("x", Duration::seconds(2.0)), CheckFailure);
+}
+
+// ---------------------------------------------------------------------------
+// Report formatting
+
+TEST(ReportFormat, JsonDoubleRoundTripsExactly) {
+  for (const double v : {0.1, 1.0 / 3.0, 12.7, 1e-300, 123456.789}) {
+    const std::string text = format_json_double(v);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << text;
+  }
+}
+
+TEST(ReportFormat, JsonDoubleMarksIntegersAndNonFinite) {
+  EXPECT_EQ(format_json_double(3.0), "3.0");
+  EXPECT_EQ(format_json_double(0.0), "0.0");
+  EXPECT_EQ(format_json_double(-2.0), "-2.0");
+  const std::string inf = format_json_double(HUGE_VAL);
+  EXPECT_EQ(inf.front(), '"');  // quoted: bare inf is not valid JSON
+}
+
+TEST(ReportFormat, JsonQuoteEscapes) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(json_quote("line\nbreak"), "\"line\\nbreak\"");
+}
+
+TEST(Fingerprint, HashFollowsCanonicalText) {
+  ConfigFingerprint a;
+  a.seed = 42;
+  a.nodes = 8;
+  ConfigFingerprint b = a;
+  EXPECT_EQ(a.canonical(), b.canonical());
+  EXPECT_EQ(a.hash(), b.hash());
+  b.seed = 43;
+  EXPECT_NE(a.canonical(), b.canonical());
+  EXPECT_NE(a.hash(), b.hash());
+  // The canonical form names every identity-bearing knob.
+  EXPECT_NE(a.canonical().find("seed=42"), std::string::npos);
+  EXPECT_NE(a.canonical().find("nodes=8"), std::string::npos);
+  EXPECT_NE(a.canonical().find("queue_backend=ladder"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Testbed integration: inertness, determinism, coverage
+
+TestbedConfig small_config(RunMode mode) {
+  TestbedConfig config;
+  config.mode = mode;
+  config.cluster.node_count = 4;
+  config.cluster.slots_per_node = 6;
+  config.cache_capacity_per_node = 64 * kGiB;
+  config.seed = 42;
+  return config;
+}
+
+SwimConfig small_swim() {
+  SwimConfig config;
+  config.job_count = 12;
+  config.total_input = 3 * kGiB;
+  config.tail_max = 1 * kGiB;
+  config.mean_interarrival = Duration::seconds(1.5);
+  config.seed = 42;
+  return config;
+}
+
+std::uint64_t run_trace_hash(bool enable_metrics) {
+  TestbedConfig config = small_config(RunMode::kIgnem);
+  config.enable_trace = true;
+  config.enable_metrics = enable_metrics;
+  Testbed testbed(config);
+  testbed.run_workload(build_swim_workload(testbed, small_swim()));
+  return testbed.trace_hash();
+}
+
+// The acceptance bar for the whole plane: recording is passive, so the
+// event stream is bit-identical with metrics on and off.
+TEST(MetricsInertness, TraceHashIdenticalWithMetricsOnAndOff) {
+  EXPECT_EQ(run_trace_hash(true), run_trace_hash(false));
+}
+
+TEST(MetricsInertness, DisabledMetricsLeaveEverythingOff) {
+  TestbedConfig config = small_config(RunMode::kIgnem);
+  config.enable_metrics = false;
+  Testbed testbed(config);
+  testbed.run_workload(build_swim_workload(testbed, small_swim()));
+  EXPECT_FALSE(testbed.sim().profiling_enabled());
+  EXPECT_TRUE(testbed.metrics_registry().counters().empty());
+  EXPECT_TRUE(testbed.metrics_registry().histograms().empty());
+  EXPECT_TRUE(testbed.metrics_registry().series().empty());
+}
+
+// Runs a full seeded testbed in a fresh thread and returns its RunReport
+// JSON. The fresh thread matters: kernel alloc counters are thread_local,
+// and a previous run on this thread would leave warmed slab pools behind —
+// a fresh thread reproduces the "separate process" baseline the
+// byte-identical guarantee is stated for.
+std::string report_json_in_fresh_thread() {
+  std::string out;
+  std::thread t([&out] {
+    Testbed testbed(small_config(RunMode::kIgnem));
+    testbed.run_workload(build_swim_workload(testbed, small_swim()));
+    std::ostringstream os;
+    testbed.build_run_report("determinism").write_json(os);
+    out = os.str();
+  });
+  t.join();
+  return out;
+}
+
+TEST(RunReportTest, ByteIdenticalAcrossIdenticalSeededRuns) {
+  const std::string first = report_json_in_fresh_thread();
+  const std::string second = report_json_in_fresh_thread();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(RunReportTest, ContainsKernelProfileSeriesAndFingerprint) {
+  Testbed testbed(small_config(RunMode::kIgnem));
+  testbed.run_workload(build_swim_workload(testbed, small_swim()));
+  std::ostringstream os;
+  testbed.build_run_report("coverage").write_json(os);
+  const std::string json = os.str();
+  for (const char* needle :
+       // run_mode_name spells the paper's capitalized labels.
+       {"\"fingerprint\"", "\"hash\": \"0x", "\"mode\": \"Ignem\"",
+        "\"kernel\"", "\"events_dispatched\"", "\"class.periodic\"",
+        "\"alloc.pool_hits\"", "\"dfs.read_latency_us\"",
+        "\"ignem.cache_hit_ratio\"", "\"ignem.locked_bytes\"",
+        "\"tier.occupancy.t0\"", "\"summary\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << "missing " << needle;
+  }
+}
+
+TEST(KernelProfileTest, ClassCountsSumToDispatched) {
+  Testbed testbed(small_config(RunMode::kIgnem));
+  testbed.run_workload(build_swim_workload(testbed, small_swim()));
+  const KernelProfile& profile = testbed.sim().profile();
+  // Profiling was enabled before the first event, so the profile saw the
+  // whole run.
+  EXPECT_EQ(profile.events_dispatched, testbed.sim().events_dispatched());
+  std::uint64_t by_class = 0;
+  for (const std::uint64_t n : profile.class_counts) by_class += n;
+  EXPECT_EQ(by_class, profile.events_dispatched);
+  // An Ignem run has periodic samplers, transfers, and RPCs by construction.
+  using C = EventClass;
+  EXPECT_GT(profile.class_counts[static_cast<std::size_t>(C::kPeriodic)], 0u);
+  EXPECT_GT(profile.class_counts[static_cast<std::size_t>(C::kTransfer)], 0u);
+  EXPECT_GT(profile.class_counts[static_cast<std::size_t>(C::kRpc)], 0u);
+  EXPECT_GT(profile.max_pending, 0u);
+  EXPECT_GT(profile.mean_pending(), 0.0);
+}
+
+TEST(DfsMetricsTest, ReadLatencyHistogramMatchesClientStats) {
+  Testbed testbed(small_config(RunMode::kHdfs));
+  testbed.run_workload(build_swim_workload(testbed, small_swim()));
+  const DfsStats& stats = testbed.dfs().stats();
+  EXPECT_GT(stats.reads_completed, 0u);
+  const auto& histograms = testbed.metrics_registry().histograms();
+  const auto it = histograms.find("dfs.read_latency_us");
+  ASSERT_NE(it, histograms.end());
+  EXPECT_EQ(it->second.count(), stats.reads_completed);
+  EXPECT_GT(it->second.sum(), 0);
+}
+
+TEST(ScrubMetricsTest, ProgressAndContentionSurfaceInReport) {
+  TestbedConfig config = small_config(RunMode::kHdfs);
+  config.integrity.enable_scrubber = true;
+  config.integrity.scrub_interval = Duration::seconds(2.0);
+  Testbed testbed(config);
+  testbed.run_workload(build_swim_workload(testbed, small_swim()));
+  ASSERT_NE(testbed.scrubber(), nullptr);
+  const ScrubberStats& stats = testbed.scrubber()->stats();
+  EXPECT_GT(stats.blocks_scanned, 0u);
+  EXPECT_LE(stats.scans_contended, stats.blocks_scanned);
+  std::ostringstream os;
+  testbed.build_run_report("scrub").write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"scrub.blocks_scanned\""), std::string::npos);
+  EXPECT_NE(json.find("\"scrub.contention_ratio\""), std::string::npos);
+  EXPECT_NE(json.find("\"scrub.coverage\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ignem
