@@ -1,0 +1,43 @@
+// Deterministic sim-time token bucket (GCRA formulation).
+//
+// Paces byte streams — re-replication traffic, scrub reads — against a
+// configured rate without scheduling any events of its own: callers ask
+// "how long must this transfer wait to conform?" and do their own
+// scheduling. State is a single theoretical-arrival-time in integer
+// microseconds, so the limiter is exactly reproducible and costs O(1)
+// per decision.
+#pragma once
+
+#include "common/units.h"
+
+namespace ignem {
+
+/// Token bucket over sim time. `rate` is the sustained allowance in
+/// bytes/sec; `burst` is how many bytes may pass instantaneously after an
+/// idle period before pacing kicks in. All math is integer microseconds
+/// (via transfer_time) so identical call sequences produce identical waits.
+class RateLimiter {
+ public:
+  RateLimiter(Bandwidth rate, Bytes burst);
+
+  /// Commits `bytes` to the schedule and returns how long the caller must
+  /// wait from `now` before starting them. Zero means "go now". The debit
+  /// is unconditional — callers that reserve must eventually send.
+  Duration reserve(Bytes bytes, SimTime now);
+
+  /// Commits `bytes` only if they conform right now (wait would be zero).
+  /// Returns false — and leaves the schedule untouched — otherwise. For
+  /// skip-don't-delay users like the scrubber.
+  bool try_acquire(Bytes bytes, SimTime now);
+
+  Bandwidth rate() const { return rate_; }
+  Bytes burst() const { return burst_; }
+
+ private:
+  Bandwidth rate_;
+  Bytes burst_;
+  Duration burst_window_;   ///< transfer_time(burst, rate): slack a full bucket buys.
+  SimTime tat_{0};          ///< Theoretical arrival time of the next conforming byte.
+};
+
+}  // namespace ignem

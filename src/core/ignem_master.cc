@@ -216,12 +216,42 @@ void IgnemMaster::on_replica_corrupt(BlockId block, NodeId node) {
 
 void IgnemMaster::on_node_rejoin(NodeId node) {
   if (failed_) return;
-  sim_.schedule(config_.rpc_latency,
-                [this, node] {
-                  if (failed_) return;
-                  slaves_[static_cast<std::size_t>(node.value())]->purge_all();
-                },
-                EventClass::kRpc);
+  // One RPC exchange: the slave reports its tracked references, the master
+  // reconciles, and eviction orders for the stale ones ride the reply.
+  sim_.schedule(
+      config_.rpc_latency,
+      [this, node] {
+        if (failed_) return;
+        IgnemSlave* slave = slaves_[static_cast<std::size_t>(node.value())];
+        std::map<JobId, std::vector<BlockId>> evict;
+        for (const auto& [block, job] : slave->tracked_references()) {
+          const auto it = chosen_.find({job, block});
+          if (it != chosen_.end() &&
+              std::find(it->second.begin(), it->second.end(), node) !=
+                  it->second.end()) {
+            // Still the chosen target: the cached copy is simply back.
+            ++stats_.rejoin_reclaimed;
+            continue;
+          }
+          if (job_info_.contains(job)) {
+            // The job is live but the master rerouted (or dropped) this
+            // migration during the outage. Re-adopt the surviving copy so
+            // the job-end evict RPC reaches it — an extra cached replica
+            // beats a leaked one.
+            chosen_[{job, block}].push_back(node);
+            ++stats_.rejoin_reclaimed;
+            continue;
+          }
+          // The job finished or was forgotten while the node was out; its
+          // references would pin memory forever.
+          evict[job].push_back(block);
+          ++stats_.rejoin_purged;
+        }
+        for (const auto& [job, blocks] : evict) {
+          slave->handle_evict_batch(job, blocks);
+        }
+      },
+      EventClass::kRpc);
 }
 
 NodeId IgnemMaster::chosen_replica(JobId job, BlockId block) const {

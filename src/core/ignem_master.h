@@ -30,6 +30,8 @@ struct MasterStats {
   std::uint64_t migrate_commands = 0;
   std::uint64_t evict_commands = 0;
   std::uint64_t batches_sent = 0;
+  std::uint64_t rejoin_reclaimed = 0;  ///< References kept/re-adopted on rejoin.
+  std::uint64_t rejoin_purged = 0;     ///< References evicted on rejoin.
 };
 
 class IgnemMaster : public MigrationService {
@@ -61,10 +63,11 @@ class IgnemMaster : public MigrationService {
   /// migration is dropped for good (the job falls back to disk reads).
   void on_node_failure(NodeId node);
 
-  /// A declared-dead node came back. Its slave may hold migrations the
-  /// master rerouted or forgot (spurious death under a heartbeat delay, or
-  /// a restart the master did not witness): tell it to purge so its state
-  /// matches the master's and no locked bytes leak.
+  /// A declared-dead node came back. Reconcile instead of purging: the
+  /// slave reports every reference it still tracks; references the master
+  /// also tracks (or can re-adopt because the job is still live) are kept —
+  /// the cached copies survive the spurious death — and only references to
+  /// finished or forgotten jobs are evicted, so no locked bytes leak.
   void on_node_rejoin(NodeId node);
 
   /// Integrity hook: `node`'s replica of `block` was found corrupt. Every

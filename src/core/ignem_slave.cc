@@ -27,6 +27,15 @@ bool IgnemSlave::holds(BlockId block) const {
          !it->second.jobs.empty();
 }
 
+std::vector<std::pair<BlockId, JobId>> IgnemSlave::tracked_references() const {
+  std::vector<std::pair<BlockId, JobId>> refs;
+  for (const auto& [block, state] : blocks_) {
+    for (const JobId job : state.jobs) refs.emplace_back(block, job);
+  }
+  std::sort(refs.begin(), refs.end());
+  return refs;
+}
+
 void IgnemSlave::add_reference(BlockId block, JobId job) {
   BlockState& state = blocks_[block];
   if (std::find(state.jobs.begin(), state.jobs.end(), job) ==

@@ -20,6 +20,7 @@
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "cluster/job_liveness.h"
@@ -89,6 +90,13 @@ class IgnemSlave : public BlockReadListener {
 
   /// True when `block` is memory-resident with a non-empty reference list.
   bool holds(BlockId block) const;
+
+  /// Every (block, job) reference the slave tracks — queued, migrating, or
+  /// in memory — sorted for determinism. The master's rejoin reconciliation
+  /// walks this to decide which references to re-adopt and which to evict
+  /// (queued entries matter too: left alone they would later lock memory
+  /// no one tracks).
+  std::vector<std::pair<BlockId, JobId>> tracked_references() const;
 
   /// Emits kMigrationStart/kMigrationComplete/kEviction and wires the
   /// underlying queue's enqueue/dequeue/drop events.

@@ -91,7 +91,12 @@ Testbed::Testbed(TestbedConfig config)
     }
   }
 
+  // config_.rack_count is the single source of rack truth: the NameNode's
+  // placement, the repair targeting, and the network fabric must agree on
+  // who is off-rack.
+  config_.network.rack_count = config_.rack_count;
   network_ = std::make_unique<Network>(sim_, n, config_.network);
+  hb_suppress_depth_.assign(n, 0);
   rm_ = std::make_unique<ResourceManager>(sim_, config_.cluster);
   rm_->set_trace(trace_.get());
   dfs_ = std::make_unique<DfsClient>(sim_, *namenode_, *network_, &metrics_);
@@ -101,6 +106,11 @@ Testbed::Testbed(TestbedConfig config)
   replication_manager_ = std::make_unique<ReplicationManager>(
       sim_, *namenode_, *network_, rng_.fork(4));
   replication_manager_->set_trace(trace_.get());
+  if (config_.replication_rate_limit > 0.0) {
+    repl_limiter_ = std::make_unique<RateLimiter>(
+        config_.replication_rate_limit, config_.replication_burst);
+    replication_manager_->set_rate_limiter(repl_limiter_.get());
+  }
 
   switch (config_.mode) {
     case RunMode::kIgnem: {
@@ -147,6 +157,10 @@ Testbed::Testbed(TestbedConfig config)
       if (master_ != nullptr) master_->on_node_failure(node);
     });
     detector_->set_on_node_rejoined([this](NodeId node) {
+      // Heal-side reconciliation first: repairs that raced the node's return
+      // may have left blocks over-replicated, so the namespace sheds the
+      // excess before the master re-adopts the node's cached copies.
+      replication_manager_->handle_node_rejoin(node, config_.replication);
       if (master_ != nullptr) master_->on_node_rejoin(node);
     });
   }
@@ -409,9 +423,13 @@ void Testbed::restart_node(NodeId node) {
   emit_fault_event(TraceEventType::kRecoverNodeRestart, node);
   dn.restart();
   // Re-registration is heartbeat-driven: the NameNode and RM each readmit
-  // the node when its first post-restart beat lands.
-  if (detector_ != nullptr) detector_->resume_heartbeat(node);
-  rm_->resume_heartbeat(node);
+  // the node when its first post-restart beat lands. If a heartbeat-delay or
+  // partition window is still open, the restarted node stays silent until
+  // that window's own end lifts the suppression.
+  if (hb_suppress_depth_[static_cast<std::size_t>(node.value())] == 0) {
+    if (detector_ != nullptr) detector_->resume_heartbeat(node);
+    rm_->resume_heartbeat(node);
+  }
 }
 
 void Testbed::crash_master() {
@@ -487,19 +505,90 @@ void Testbed::end_network_degrade(NodeId node) {
   emit_fault_event(TraceEventType::kRecoverNetwork, node);
 }
 
-void Testbed::begin_heartbeat_delay(NodeId node) {
-  emit_fault_event(TraceEventType::kFaultHeartbeatDelay, node);
+void Testbed::suppress_heartbeats(NodeId node) {
+  if (++hb_suppress_depth_[static_cast<std::size_t>(node.value())] > 1) {
+    return;  // already silenced by another window
+  }
   if (detector_ != nullptr) detector_->halt_heartbeat(node);
   rm_->halt_heartbeat(node);
 }
 
-void Testbed::end_heartbeat_delay(NodeId node) {
-  emit_fault_event(TraceEventType::kRecoverHeartbeat, node);
-  // A node that crashed during the delay window stays silent; its own
-  // restart resumes the beats.
+void Testbed::release_heartbeats(NodeId node) {
+  int& depth = hb_suppress_depth_[static_cast<std::size_t>(node.value())];
+  IGNEM_CHECK(depth > 0);
+  if (--depth > 0) return;  // another window still holds the node silent
+  // A node that crashed during the window stays silent; its own restart
+  // resumes the beats.
   if (!datanode(node).alive()) return;
   if (detector_ != nullptr) detector_->resume_heartbeat(node);
   rm_->resume_heartbeat(node);
+}
+
+void Testbed::begin_heartbeat_delay(NodeId node) {
+  emit_fault_event(TraceEventType::kFaultHeartbeatDelay, node);
+  suppress_heartbeats(node);
+}
+
+void Testbed::end_heartbeat_delay(NodeId node) {
+  emit_fault_event(TraceEventType::kRecoverHeartbeat, node);
+  release_heartbeats(node);
+}
+
+void Testbed::begin_network_partition(NodeId node, int variant) {
+  emit_fault_event(TraceEventType::kPartitionStart, node,
+                   static_cast<std::uint64_t>(variant));
+  ReachabilityMatrix& matrix = network_->reachability();
+  switch (variant) {
+    case 0:
+      matrix.block_outbound(node);
+      matrix.block_inbound(node);
+      break;
+    case 1: matrix.block_outbound(node); break;
+    case 2: matrix.block_inbound(node); break;
+    default:
+      IGNEM_CHECK_MSG(false, "unknown partition variant " << variant);
+  }
+  // Heartbeats travel node -> NameNode/RM, so any outbound cut silences
+  // them. An inbound-only cut leaves them flowing: the node looks alive to
+  // the detector while nobody can actually send it data — the asymmetric
+  // shape that makes reachability checks on the read/repair paths matter.
+  if (variant == 0 || variant == 1) suppress_heartbeats(node);
+}
+
+void Testbed::end_network_partition(NodeId node, int variant) {
+  emit_fault_event(TraceEventType::kPartitionHeal, node,
+                   static_cast<std::uint64_t>(variant));
+  ReachabilityMatrix& matrix = network_->reachability();
+  switch (variant) {
+    case 0:
+      matrix.unblock_outbound(node);
+      matrix.unblock_inbound(node);
+      break;
+    case 1: matrix.unblock_outbound(node); break;
+    case 2: matrix.unblock_inbound(node); break;
+    default:
+      IGNEM_CHECK_MSG(false, "unknown partition variant " << variant);
+  }
+  if (variant == 0 || variant == 1) release_heartbeats(node);
+}
+
+void Testbed::begin_rack_partition(NodeId node) {
+  emit_fault_event(TraceEventType::kPartitionStart, node, /*detail=*/3);
+  const int rack = network_->topology().rack_of(node);
+  const std::vector<NodeId> members = network_->topology().rack_members(rack);
+  network_->reachability().block_group(rack, members);
+  // The control plane (NameNode/RM/detector) lives outside the cut rack, so
+  // every member's heartbeats stop; intra-rack data traffic still flows.
+  for (const NodeId member : members) suppress_heartbeats(member);
+}
+
+void Testbed::end_rack_partition(NodeId node) {
+  emit_fault_event(TraceEventType::kPartitionHeal, node, /*detail=*/3);
+  const int rack = network_->topology().rack_of(node);
+  network_->reachability().unblock_group(rack);
+  for (const NodeId member : network_->topology().rack_members(rack)) {
+    release_heartbeats(member);
+  }
 }
 
 void Testbed::corrupt_block(NodeId node) {
@@ -690,6 +779,15 @@ RunReport Testbed::build_run_report(const std::string& name) {
       .set(r.blocks_unrepairable);
   registry_.counter("replication.corrupt_invalidated")
       .set(r.corrupt_invalidated);
+  registry_.counter("replication.repairs_throttled").set(r.repairs_throttled);
+  registry_.counter("replication.excess_deleted").set(r.excess_deleted);
+  registry_.counter("replication.bytes_repaired")
+      .set(static_cast<std::uint64_t>(r.bytes_repaired));
+
+  if (detector_ != nullptr) {
+    registry_.counter("detector.false_dead_total")
+        .set(detector_->false_dead_total());
+  }
 
   const IntegrityStats& integ = integrity_->stats();
   registry_.counter("integrity.disk_corrupt_detected")
@@ -704,6 +802,7 @@ RunReport Testbed::build_run_report(const std::string& name) {
     registry_.counter("scrub.blocks_scanned").set(s.blocks_scanned);
     registry_.counter("scrub.corrupt_found").set(s.corrupt_found);
     registry_.counter("scrub.scans_contended").set(s.scans_contended);
+    registry_.counter("scrub.scans_throttled").set(s.scans_throttled);
     registry_.gauge("scrub.contention_ratio")
         .set(s.blocks_scanned == 0
                  ? 0.0
@@ -724,6 +823,8 @@ RunReport Testbed::build_run_report(const std::string& name) {
     registry_.counter("ignem.master.migrate_commands").set(m.migrate_commands);
     registry_.counter("ignem.master.evict_commands").set(m.evict_commands);
     registry_.counter("ignem.master.batches_sent").set(m.batches_sent);
+    registry_.counter("ignem.master.rejoin_reclaimed").set(m.rejoin_reclaimed);
+    registry_.counter("ignem.master.rejoin_purged").set(m.rejoin_purged);
   }
   if (!slaves_.empty()) {
     std::uint64_t migrations = 0, commands = 0, evictions = 0;

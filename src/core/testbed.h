@@ -16,6 +16,7 @@
 
 #include "cluster/resource_manager.h"
 #include "common/ids.h"
+#include "common/rate_limiter.h"
 #include "common/rng.h"
 #include "core/baselines.h"
 #include "core/hot_data.h"
@@ -111,6 +112,14 @@ struct TestbedConfig {
   /// injected corruption; the scrubber is opt-in because its periodic
   /// verification reads change the event stream of a clean run.
   IntegrityConfig integrity;
+  /// Recovery-storm control: cluster-wide budget (bytes/sec) for
+  /// re-replication traffic, paced through a deterministic token bucket so a
+  /// mass failure cannot flood foreground jobs off the network. 0 keeps the
+  /// historical unthrottled behavior (bit-identical traces).
+  Bandwidth replication_rate_limit = 0.0;
+  /// Token-bucket burst for the re-replication limiter: this many bytes of
+  /// repair may start back-to-back before pacing kicks in.
+  Bytes replication_burst = 256 * kMiB;
   /// N-tier storage hierarchy + migration policy (see TieringConfig).
   TieringConfig tiering;
   /// Batches every periodic cohort (RM heartbeats, detector heartbeats,
@@ -190,6 +199,10 @@ class Testbed : public FaultTarget {
   void end_network_degrade(NodeId node) override;
   void begin_heartbeat_delay(NodeId node) override;
   void end_heartbeat_delay(NodeId node) override;
+  void begin_network_partition(NodeId node, int variant) override;
+  void end_network_partition(NodeId node, int variant) override;
+  void begin_rack_partition(NodeId node) override;
+  void end_rack_partition(NodeId node) override;
   void corrupt_block(NodeId node) override;
   void corrupt_cached_block(NodeId node) override;
   std::size_t node_count() const override { return datanodes_.size(); }
@@ -271,6 +284,13 @@ class Testbed : public FaultTarget {
   bool run_workload_to(std::vector<ScheduledJob> jobs, SimTime deadline);
   void emit_fault_event(TraceEventType type, NodeId node,
                         std::uint64_t detail = 0);
+  /// Depth-counted heartbeat silencing shared by heartbeat-delay windows and
+  /// partitions (which may overlap on one node): beats halt when the first
+  /// suppressor arrives and resume only when the last one lifts — and only
+  /// if the node is still alive (a crash during the window stays silent
+  /// until its own restart).
+  void suppress_heartbeats(NodeId node);
+  void release_heartbeats(NodeId node);
 
   TestbedConfig config_;
   // Declared before every traced component so it is destroyed after them
@@ -288,6 +308,8 @@ class Testbed : public FaultTarget {
   std::unique_ptr<ResourceManager> rm_;
   std::unique_ptr<DfsClient> dfs_;
   std::unique_ptr<ReplicationManager> replication_manager_;
+  /// Re-replication pacing (null when replication_rate_limit == 0).
+  std::unique_ptr<RateLimiter> repl_limiter_;
   std::unique_ptr<FailureDetector> detector_;
   std::unique_ptr<IntegrityManager> integrity_;
   std::unique_ptr<Scrubber> scrubber_;
@@ -310,6 +332,8 @@ class Testbed : public FaultTarget {
   // aborted (never completed) when the window closes.
   std::map<NodeId, std::vector<TransferHandle>> disk_hogs_;
   std::map<NodeId, std::vector<TransferHandle>> net_hogs_;
+  /// Per-node heartbeat-suppression depth (see suppress_heartbeats).
+  std::vector<int> hb_suppress_depth_;
 };
 
 }  // namespace ignem

@@ -28,10 +28,36 @@ void DataNode::add_block(BlockId block, Bytes size) {
   IGNEM_CHECK(block.valid());
   IGNEM_CHECK(size > 0);
   blocks_[block] = size;
+  // The write path creates the replica's checksum; a re-written replica
+  // (repair over an old copy) is clean again.
+  checksums_[block] = expected_checksum(block, size);
   if (trace_ != nullptr) {
     trace_->emit(TraceEventType::kReplicaAdd, id_, block, JobId::invalid(),
                  size);
   }
+}
+
+std::uint64_t DataNode::expected_checksum(BlockId block, Bytes size) {
+  // FNV-1a over the block identity and size — a stand-in for a content
+  // digest that every clean replica agrees on.
+  std::uint64_t hash = 14695981039346656037ULL;
+  const auto mix = [&hash](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (v >> (i * 8)) & 0xff;
+      hash *= 1099511628211ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(block.value()));
+  mix(static_cast<std::uint64_t>(size));
+  return hash;
+}
+
+std::uint64_t DataNode::stored_checksum(BlockId block) const {
+  const auto it = checksums_.find(block);
+  IGNEM_CHECK_MSG(it != checksums_.end(), "block " << block.value()
+                                                   << " not on node "
+                                                   << id_.value());
+  return it->second;
 }
 
 Bytes DataNode::block_size(BlockId block) const {
@@ -44,7 +70,7 @@ Bytes DataNode::block_size(BlockId block) const {
 
 void DataNode::remove_block(BlockId block) {
   blocks_.erase(block);
-  corrupt_.erase(block);
+  checksums_.erase(block);
   // A disk read of a deleted replica can no longer finish; a read of a
   // still-promoted copy is unaffected.
   abort_pending_reads(&primary_device(), block);
@@ -58,7 +84,10 @@ void DataNode::corrupt_block(BlockId block) {
                                                << block.value()
                                                << " not stored on node "
                                                << id_.value());
-  corrupt_.insert(block);
+  // Rot damages the stored data; its checksum stops matching the expected
+  // one. Assigning (not XOR-ing in place) keeps a twice-corrupted copy bad.
+  checksums_[block] = expected_checksum(block, blocks_.at(block)) ^
+                      0xDEADBEEFDEADBEEFULL;
 }
 
 void DataNode::corrupt_cached_copy(BlockId block) {
@@ -128,7 +157,7 @@ void DataNode::read_block(BlockId block, JobId job, ReadCallback on_complete) {
           // completion so rot injected mid-read is caught too.
           const bool corrupt = promoted
                                    ? tiers_.pool(serving).is_corrupt(block)
-                                   : corrupt_.contains(block);
+                                   : is_corrupt(block);
           if (corrupt) {
             if (trace_ != nullptr) {
               trace_->emit(TraceEventType::kBlockReadCorrupt, id_, block, job,
@@ -180,7 +209,7 @@ void DataNode::verify_block(BlockId block, ReadCallback on_complete) {
           if (it == pending_reads_.end()) return;  // aborted mid-checksum
           ReadCallback cb = std::move(it->second.callback);
           pending_reads_.erase(it);
-          const bool corrupt = corrupt_.contains(block);
+          const bool corrupt = is_corrupt(block);
           if (trace_ != nullptr) {
             trace_->emit(TraceEventType::kScrub, id_, block, JobId::invalid(),
                          size, corrupt ? 1 : 0);

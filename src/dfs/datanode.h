@@ -91,11 +91,24 @@ class DataNode {
   /// owns it), but orphaned victim-tier copies are dropped.
   void remove_block(BlockId block);
 
-  /// Silent bit-rot: the stored replica's data is now bad, but nothing
-  /// notices until a checksum pass (read, scrub, migration verify) runs.
-  /// The mark survives process restarts — rot lives on the platter.
+  /// The checksum a clean replica of (block, size) must carry. Content-
+  /// addressed (a pure function of identity, not of which node holds the
+  /// copy), so every healthy replica of a block agrees.
+  static std::uint64_t expected_checksum(BlockId block, Bytes size);
+
+  /// The checksum stored alongside the replica at write time. Verification
+  /// is stored-vs-expected; rot shows up as a mismatch.
+  std::uint64_t stored_checksum(BlockId block) const;
+
+  /// Silent bit-rot: flips bits in the stored replica's checksum so the
+  /// next verification pass (read, scrub, migration verify) mismatches.
+  /// The damage survives process restarts — rot lives on the platter.
   void corrupt_block(BlockId block);
-  bool is_corrupt(BlockId block) const { return corrupt_.contains(block); }
+  bool is_corrupt(BlockId block) const {
+    const auto it = checksums_.find(block);
+    return it != checksums_.end() &&
+           it->second != expected_checksum(block, blocks_.at(block));
+  }
   /// Corrupts the promoted in-memory/tier copy instead (the home replica
   /// stays good). Delegates to the serving pool, so eviction discards the
   /// mark.
@@ -231,7 +244,10 @@ class DataNode {
   TierHierarchy tiers_;
   const MigrationPolicy* policy_ = nullptr;
   std::unordered_map<BlockId, Bytes> blocks_;
-  std::unordered_set<BlockId> corrupt_;  // stored replicas with silent rot
+  // Per-replica checksums, written when the block lands on the node (the
+  // write path creates them; rot only damages them). A replica is corrupt
+  // when its stored checksum no longer matches the expected one.
+  std::unordered_map<BlockId, std::uint64_t> checksums_;
   /// Last touch time of victim-tier copies (DownwardOnCold ageing).
   std::unordered_map<BlockId, SimTime> victim_touch_;
   bool alive_ = true;

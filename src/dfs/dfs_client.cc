@@ -23,15 +23,18 @@ void DfsClient::set_metrics_registry(MetricsRegistry* registry) {
 }
 
 NodeId DfsClient::choose_replica(NodeId reader, BlockId block) const {
-  // A replica is reachable when its node is in the namespace map, its
-  // process is up, and either the block sits in locked memory or the disk
-  // works. (During an undetected crash the namespace still lists the node;
-  // the physical alive() check keeps us off it.)
+  // A replica is usable when its node is in the namespace map, its
+  // process is up, either the block sits in locked memory or the disk
+  // works, and no active partition separates it from the reader. (During
+  // an undetected crash the namespace still lists the node; the physical
+  // alive() check keeps us off it. The reachability check is a single
+  // integer compare on a healthy fabric.)
   std::vector<NodeId> locations;
   for (const NodeId node : namenode_.live_locations(block)) {
     const DataNode* dn = namenode_.datanode(node);
     if (!dn->alive()) continue;
     if (!dn->has_promoted_copy(block) && !dn->disk_ok()) continue;
+    if (!network_.reachable(node, reader)) continue;
     locations.push_back(node);
   }
   if (locations.empty()) return NodeId::invalid();

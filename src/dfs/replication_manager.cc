@@ -36,6 +36,50 @@ void ReplicationManager::handle_node_failure(NodeId node,
   pump();
 }
 
+void ReplicationManager::handle_node_rejoin(NodeId node,
+                                            int target_replication) {
+  target_replication_ = target_replication;
+  // Collect first, then reconcile: invalidation mutates the namespace map.
+  std::vector<BlockId> held;
+  for (const auto& [block_id, info] : namenode_.all_blocks()) {
+    if (std::find(info.replicas.begin(), info.replicas.end(), node) !=
+        info.replicas.end()) {
+      held.push_back(block_id);
+    }
+  }
+  std::sort(held.begin(), held.end());
+  for (const BlockId block : held) {
+    while (true) {
+      const auto live = namenode_.live_locations(block);
+      if (live.size() <= static_cast<std::size_t>(target_replication_)) break;
+      // Victim choice: never the rejoined node (the Ignem master is about
+      // to reclaim its cached state), prefer copies nobody promoted into
+      // memory, and break ties toward the larger node id — typically the
+      // freshest repair copy.
+      NodeId victim = NodeId::invalid();
+      bool victim_promoted = false;
+      for (const NodeId cand : live) {
+        if (cand == node) continue;
+        const bool promoted =
+            namenode_.datanode(cand)->has_promoted_copy(block);
+        if (!victim.valid() || (victim_promoted && !promoted) ||
+            (victim_promoted == promoted && cand.value() > victim.value())) {
+          victim = cand;
+          victim_promoted = promoted;
+        }
+      }
+      if (!victim.valid()) break;  // every excess copy is on the rejoined node
+      const Bytes bytes = namenode_.block(block).size;
+      if (trace_ != nullptr) {
+        trace_->emit(TraceEventType::kExcessReplicaDeleted, victim, block,
+                     JobId::invalid(), bytes);
+      }
+      namenode_.invalidate_replica(block, victim);
+      ++stats_.excess_deleted;
+    }
+  }
+}
+
 void ReplicationManager::handle_corrupt_replica(BlockId block,
                                                 int target_replication) {
   target_replication_ = target_replication;
@@ -111,9 +155,12 @@ void ReplicationManager::repair(BlockId block) {
       return;
     }
   }
+  const NodeId source = sources.front();
   // Target: a live, working node that holds no replica of the block —
   // including dead and corrupt-marked holders, which are absent from `live`
-  // but still in the namespace — chosen uniformly for load spreading.
+  // but still in the namespace — and that the source can currently reach
+  // (a partitioned target would stall the copy forever). Chosen uniformly
+  // for load spreading.
   const auto& replicas = namenode_.block(block).replicas;
   std::vector<NodeId> candidates;
   for (const NodeId node : namenode_.live_nodes()) {
@@ -122,6 +169,7 @@ void ReplicationManager::repair(BlockId block) {
     }
     const DataNode* dn = namenode_.datanode(node);
     if (!dn->alive() || !dn->disk_ok()) continue;
+    if (!network_.reachable(source, node)) continue;
     candidates.push_back(node);
   }
   if (candidates.empty()) {
@@ -130,12 +178,53 @@ void ReplicationManager::repair(BlockId block) {
     pump();
     return;
   }
-  const NodeId source = sources.front();
+  if (namenode_.rack_count() > 1) {
+    // Rack-aware repair: when every surviving replica sits in one rack,
+    // restrict the draw to off-rack targets (if any) so a rack failure
+    // cannot take out all copies again. Single-rack clusters never enter
+    // this branch, keeping their RNG draw sequence unchanged.
+    const int first_rack = namenode_.rack_of(live.front());
+    bool all_one_rack = true;
+    for (const NodeId n : live) {
+      if (namenode_.rack_of(n) != first_rack) {
+        all_one_rack = false;
+        break;
+      }
+    }
+    if (all_one_rack) {
+      std::vector<NodeId> off_rack;
+      for (const NodeId n : candidates) {
+        if (namenode_.rack_of(n) != first_rack) off_rack.push_back(n);
+      }
+      if (!off_rack.empty()) candidates = std::move(off_rack);
+    }
+  }
   const NodeId target = candidates[static_cast<std::size_t>(rng_.uniform_int(
       0, static_cast<std::int64_t>(candidates.size()) - 1))];
   const Bytes bytes = namenode_.block(block).size;
 
   ++in_flight_;
+  if (limiter_ != nullptr) {
+    // Storm control: reserve the copy's bytes against the repair budget.
+    // The concurrency slot is held through the wait, so a throttled RM
+    // also naturally stops pulling new work off the queue.
+    const Duration wait = limiter_->reserve(bytes, sim_.now());
+    if (wait > Duration::zero()) {
+      ++stats_.repairs_throttled;
+      sim_.schedule(
+          wait,
+          [this, block, source, target, bytes] {
+            start_copy(block, source, target, bytes);
+          },
+          EventClass::kRetry);
+      return;
+    }
+  }
+  start_copy(block, source, target, bytes);
+}
+
+void ReplicationManager::start_copy(BlockId block, NodeId source,
+                                    NodeId target, Bytes bytes) {
   if (trace_ != nullptr) {
     trace_->emit(TraceEventType::kRepairStart, source, block,
                  JobId::invalid(), bytes, target.value());
@@ -164,8 +253,20 @@ void ReplicationManager::repair(BlockId block) {
               retry_later(block);  // target died during the write
               return;
             }
+            if (namenode_.live_locations(block).size() >=
+                static_cast<std::size_t>(target_replication_)) {
+              // A rejoin restored the factor while this copy was in flight.
+              // Registering it would leave the block over-replicated with no
+              // later trigger to trim it, so the fresh copy is discarded.
+              ++stats_.repairs_discarded;
+              queued_.erase(block);
+              --in_flight_;
+              pump();
+              return;
+            }
             namenode_.add_replica(block, target);
             ++stats_.blocks_repaired;
+            stats_.bytes_repaired += bytes;
             if (namenode_.live_locations(block).size() <
                 static_cast<std::size_t>(target_replication_)) {
               // Still short (several replicas were lost or invalidated):

@@ -13,6 +13,7 @@
 #include <unordered_set>
 
 #include "common/ids.h"
+#include "common/rate_limiter.h"
 #include "common/rng.h"
 #include "dfs/namenode.h"
 #include "net/network.h"
@@ -25,6 +26,13 @@ struct ReplicationStats {
   std::uint64_t blocks_repaired = 0;
   std::uint64_t blocks_unrepairable = 0;   ///< No live source or target.
   std::uint64_t corrupt_invalidated = 0;   ///< Corrupt replicas deleted.
+  std::uint64_t repairs_throttled = 0;     ///< Copies delayed by the limiter.
+  std::uint64_t excess_deleted = 0;        ///< Over-replicated copies dropped
+                                           ///< by rejoin reconciliation.
+  std::uint64_t repairs_discarded = 0;     ///< In-flight copies dropped at
+                                           ///< commit: a rejoin already
+                                           ///< restored the factor.
+  Bytes bytes_repaired = 0;                ///< Total re-replication traffic.
 };
 
 class ReplicationManager {
@@ -44,6 +52,13 @@ class ReplicationManager {
   /// backoff.
   void handle_node_failure(NodeId node, int target_replication);
 
+  /// Rejoin reconciliation: a falsely-declared node came back with its
+  /// replicas intact, so blocks it holds may now exceed their target
+  /// factor. Deletes excess copies (kExcessReplicaDeleted), preferring to
+  /// keep the rejoined node's copy and drop the youngest repair copies
+  /// elsewhere. Blocks are processed in sorted order for determinism.
+  void handle_node_rejoin(NodeId node, int target_replication);
+
   /// Queues repair for a block with a corrupt-marked replica. The corrupt
   /// copies are invalidated only once a verified live source exists (never
   /// delete the last copy, however bad); with no good copy anywhere the
@@ -58,9 +73,18 @@ class ReplicationManager {
   /// Emits kRepairStart/kRepairComplete around each repair copy.
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
+  /// Paces repair copies (recovery-storm control): each copy reserves its
+  /// bytes before starting and waits out any non-conforming delay while
+  /// holding its concurrency slot. Null (the default) starts copies
+  /// immediately — the historical path, byte-identical.
+  void set_rate_limiter(RateLimiter* limiter) { limiter_ = limiter; }
+
  private:
   void pump();
   void repair(BlockId block);
+  /// The actual copy pipeline, after source/target are chosen and any
+  /// throttle delay has elapsed.
+  void start_copy(BlockId block, NodeId source, NodeId target, Bytes bytes);
   /// A repair attempt died mid-copy: put the block back after `kRetryDelay`.
   void retry_later(BlockId block);
 
@@ -71,6 +95,7 @@ class ReplicationManager {
   Network& network_;
   Rng rng_;
   TraceRecorder* trace_ = nullptr;
+  RateLimiter* limiter_ = nullptr;
   int max_concurrent_;
   int target_replication_ = 3;
   int in_flight_ = 0;

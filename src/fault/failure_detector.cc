@@ -10,6 +10,7 @@ FailureDetector::FailureDetector(Simulator& sim, NameNode& namenode,
   namenode_.set_liveness_timeout(config_.liveness_timeout);
   const std::size_t n = namenode_.node_count();
   IGNEM_CHECK(n > 0);
+  suspected_.resize(n, false);
   heartbeats_.reserve(n);
   if (config_.batch_heartbeats) {
     heartbeat_cohort_ = std::make_unique<PeriodicCohort>(sim_);
@@ -37,6 +38,7 @@ FailureDetector::FailureDetector(Simulator& sim, NameNode& namenode,
 
 void FailureDetector::beat(NodeId node) {
   namenode_.record_heartbeat(node, sim_.now());
+  suspected_[static_cast<std::size_t>(node.value())] = false;
   if (!namenode_.is_node_alive(node)) {
     // A beat from a declared-dead node: it restarted (block report rebuilds
     // nothing here — the NameNode kept its block map) or was only silenced.
@@ -50,10 +52,39 @@ void FailureDetector::beat(NodeId node) {
 }
 
 void FailureDetector::check() {
-  for (const NodeId node : namenode_.expired_nodes(sim_.now())) {
+  const SimTime now = sim_.now();
+  for (const NodeId node : namenode_.expired_nodes(now)) {
+    const Duration silence = now - namenode_.last_heartbeat(node);
+    const auto i = static_cast<std::size_t>(node.value());
+    if (config_.suspicion_grace > Duration::zero() &&
+        silence <= config_.liveness_timeout + config_.suspicion_grace) {
+      // Inside the grace window: flag the node suspect (once per silence
+      // episode) instead of triggering the full recovery machinery. A
+      // partition that heals in time never costs a re-replication storm.
+      if (!suspected_[i]) {
+        suspected_[i] = true;
+        if (trace_ != nullptr) {
+          trace_->emit(TraceEventType::kNodeSuspect, node, BlockId::invalid(),
+                       JobId::invalid(), 0, /*detail=*/0);
+        }
+      }
+      continue;
+    }
+    suspected_[i] = false;
     if (detection_latency_ != nullptr) {
-      detection_latency_->record(
-          (sim_.now() - namenode_.last_heartbeat(node)).count_micros());
+      detection_latency_->record(silence.count_micros());
+    }
+    DataNode* dn = namenode_.datanode(node);
+    if (dn != nullptr && dn->alive()) {
+      // The process is actually up — silence was a partition or heartbeat
+      // fault. Count the false declaration; recovery proceeds regardless
+      // (the detector cannot distinguish, that is the point).
+      ++false_dead_total_;
+      if (false_dead_counter_ != nullptr) false_dead_counter_->add(1);
+      if (trace_ != nullptr) {
+        trace_->emit(TraceEventType::kFalseDead, node, BlockId::invalid(),
+                     JobId::invalid(), 0, /*detail=*/0);
+      }
     }
     if (trace_ != nullptr) {
       trace_->emit(TraceEventType::kFaultDetectedDead, node,

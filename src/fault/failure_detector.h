@@ -37,6 +37,13 @@ struct FailureDetectorConfig {
   /// of one PeriodicTask each (see PeriodicCohort for the equivalence and
   /// why it is opt-in under pinned traces).
   bool batch_heartbeats = false;
+  /// Suspicion grace window: a node silent past liveness_timeout is first
+  /// marked *suspect* (kNodeSuspect, once per silence episode) and only
+  /// declared dead once the silence exceeds liveness_timeout + grace. A
+  /// beat inside the window clears the suspicion with no recovery storm.
+  /// Zero (the default) keeps the legacy declare-on-first-expiry behaviour
+  /// and its traces bit-identical.
+  Duration suspicion_grace = Duration::zero();
 };
 
 class FailureDetector {
@@ -66,12 +73,24 @@ class FailureDetector {
 
   /// Wires the detection-latency histogram ("fault.detection_latency_us":
   /// silence duration — now minus the dead node's last heartbeat — at the
-  /// moment of declaration). Null disables; recording is passive.
+  /// moment of declaration) and the "detector.false_dead_total" counter.
+  /// Null disables; recording is passive.
   void set_metrics_registry(MetricsRegistry* registry) {
     detection_latency_ =
         registry == nullptr
             ? nullptr
             : &registry->histogram("fault.detection_latency_us");
+    false_dead_counter_ =
+        registry == nullptr ? nullptr
+                            : &registry->counter("detector.false_dead_total");
+  }
+
+  /// Declarations of death whose target process was in fact alive — the
+  /// cost of conflating silence (partition, heartbeat delay) with failure.
+  std::uint64_t false_dead_total() const { return false_dead_total_; }
+
+  bool is_suspect(NodeId node) const {
+    return suspected_[static_cast<std::size_t>(node.value())];
   }
 
  private:
@@ -91,6 +110,9 @@ class FailureDetector {
   std::function<void(NodeId)> on_node_dead_;
   std::function<void(NodeId)> on_node_rejoined_;
   HistogramMetric* detection_latency_ = nullptr;
+  Counter* false_dead_counter_ = nullptr;
+  std::uint64_t false_dead_total_ = 0;
+  std::vector<bool> suspected_;  // index == node; only set under grace > 0
 };
 
 }  // namespace ignem

@@ -67,6 +67,16 @@ void FaultInjector::begin(const FaultSpec& spec) {
     case FaultKind::kCacheCorrupt:
       target_.corrupt_cached_block(spec.node);
       break;
+    case FaultKind::kNetworkPartition:
+      // No depth dedup: the reachability matrix refcounts per variant, and
+      // deduping here would pair an outbound begin with an inbound end
+      // when differently-shaped windows overlap.
+      target_.begin_network_partition(
+          spec.node, static_cast<int>(spec.severity) % 3);
+      break;
+    case FaultKind::kRackPartition:
+      target_.begin_rack_partition(spec.node);
+      break;
   }
 }
 
@@ -98,6 +108,13 @@ void FaultInjector::end(const FaultSpec& spec) {
     case FaultKind::kBlockCorrupt:
     case FaultKind::kCacheCorrupt:
       break;  // point faults, no end event scheduled
+    case FaultKind::kNetworkPartition:
+      target_.end_network_partition(spec.node,
+                                    static_cast<int>(spec.severity) % 3);
+      break;
+    case FaultKind::kRackPartition:
+      target_.end_rack_partition(spec.node);
+      break;
   }
 }
 

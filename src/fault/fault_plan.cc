@@ -18,6 +18,8 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kHeartbeatDelay: return "heartbeat_delay";
     case FaultKind::kBlockCorrupt: return "block_corrupt";
     case FaultKind::kCacheCorrupt: return "cache_corrupt";
+    case FaultKind::kNetworkPartition: return "network_partition";
+    case FaultKind::kRackPartition: return "rack_partition";
   }
   return "?";
 }
@@ -29,11 +31,11 @@ FaultPlan FaultPlan::random(Rng& rng, std::size_t node_count,
   IGNEM_CHECK(node_count > 0);
   IGNEM_CHECK(horizon > Duration::zero());
   IGNEM_CHECK(Duration::zero() < min_outage && min_outage <= max_outage);
-  IGNEM_CHECK_MSG((kinds & kAllFaultKinds) != 0, "empty fault-kind mask");
+  IGNEM_CHECK_MSG((kinds & kEveryFaultKind) != 0, "empty fault-kind mask");
   // Eligible kinds in enum order; with the default mask this is exactly the
   // pre-mask kind table, so the uniform_int draws below are unchanged.
   std::vector<FaultKind> eligible;
-  for (std::uint32_t bit = 0; fault_kind_bit(FaultKind(bit)) <= kAllFaultKinds;
+  for (std::uint32_t bit = 0; fault_kind_bit(FaultKind(bit)) <= kEveryFaultKind;
        ++bit) {
     const FaultKind kind = static_cast<FaultKind>(bit);
     if ((kinds & fault_kind_bit(kind)) != 0) eligible.push_back(kind);

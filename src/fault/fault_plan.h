@@ -29,6 +29,13 @@ enum class FaultKind {
                     ///< (point fault; no recovery event, `duration` ignored).
   kCacheCorrupt,    ///< Silent corruption of one cached (locked-memory) copy
                     ///< on `node` (point fault, `duration` ignored).
+  kNetworkPartition,  ///< `node` unreachable for `duration` while its
+                      ///< process stays alive. int(severity) % 3 picks the
+                      ///< variant: 0 symmetric, 1 outbound-only (node sends
+                      ///< nothing), 2 inbound-only (node hears nothing).
+  kRackPartition,   ///< The whole rack containing `node` split from the
+                    ///< rest of the cluster for `duration` (symmetric;
+                    ///< intra-rack traffic still flows).
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -50,10 +57,21 @@ inline constexpr std::uint32_t kLoudFaultKinds =
     fault_kind_bit(FaultKind::kNetworkDegrade) |
     fault_kind_bit(FaultKind::kHeartbeatDelay);
 
-/// Every kind, including the silent corruption faults.
+/// Every kind, including the silent corruption faults. Predates the
+/// partition kinds; kept as-is so plans seeded against it stay
+/// byte-identical.
 inline constexpr std::uint32_t kAllFaultKinds =
     kLoudFaultKinds | fault_kind_bit(FaultKind::kBlockCorrupt) |
     fault_kind_bit(FaultKind::kCacheCorrupt);
+
+/// The reachability faults: processes live, traffic dropped.
+inline constexpr std::uint32_t kPartitionFaultKinds =
+    fault_kind_bit(FaultKind::kNetworkPartition) |
+    fault_kind_bit(FaultKind::kRackPartition);
+
+/// The widest mask — every kind the injector knows.
+inline constexpr std::uint32_t kEveryFaultKind =
+    kAllFaultKinds | kPartitionFaultKinds;
 
 struct FaultSpec {
   FaultKind kind = FaultKind::kNodeCrash;

@@ -50,6 +50,20 @@ class FaultTarget {
   virtual void begin_heartbeat_delay(NodeId node) = 0;
   virtual void end_heartbeat_delay(NodeId node) = 0;
 
+  /// Network-partition window: `node` is cut off from the rest of the
+  /// cluster while its processes stay alive. `variant` selects the shape
+  /// (0 symmetric, 1 outbound-only, 2 inbound-only). Unlike the other
+  /// windows the injector forwards every begin/end (no depth dedup): the
+  /// ReachabilityMatrix refcounts internally, so overlapping windows of
+  /// different variants still pair their blocks correctly.
+  virtual void begin_network_partition(NodeId node, int variant) = 0;
+  virtual void end_network_partition(NodeId node, int variant) = 0;
+
+  /// Rack-partition window: the whole rack containing `node` split from
+  /// the rest of the cluster (symmetric, intra-rack traffic unaffected).
+  virtual void begin_rack_partition(NodeId node) = 0;
+  virtual void end_rack_partition(NodeId node) = 0;
+
   /// Silent bit-rot on one stored replica of the node's choice (point
   /// fault): nothing observable happens until a checksum pass reads it.
   virtual void corrupt_block(NodeId node) = 0;

@@ -35,6 +35,17 @@ struct IntegrityConfig {
   /// PeriodicTask per DataNode (see PeriodicCohort; opt-in under pinned
   /// traces).
   bool batch_scrub_ticks = false;
+
+  /// Cluster-wide scrub-read budget in bytes/sec (token bucket shared by
+  /// every node's scanner). A tick whose block does not conform is skipped
+  /// — the cursor stays put and the block is retried next interval — so
+  /// scrubbing yields to foreground IO instead of piling up behind it.
+  /// Zero (the default) scrubs unthrottled, the historical behaviour.
+  Bandwidth scrub_rate_limit = 0.0;
+
+  /// Burst allowance for the scrub limiter; only meaningful with a nonzero
+  /// scrub_rate_limit.
+  Bytes scrub_burst = 256 * kMiB;
 };
 
 }  // namespace ignem

@@ -6,8 +6,12 @@
 namespace ignem {
 
 Scrubber::Scrubber(Simulator& sim, NameNode& namenode, IntegrityConfig config)
-    : namenode_(namenode) {
+    : sim_(sim), namenode_(namenode) {
   IGNEM_CHECK(config.scrub_interval > Duration::zero());
+  if (config.scrub_rate_limit > 0.0) {
+    limiter_ = std::make_unique<RateLimiter>(config.scrub_rate_limit,
+                                             config.scrub_burst);
+  }
   const std::size_t n = namenode_.node_count();
   cursors_.assign(n, BlockId::invalid());
   if (config.batch_scrub_ticks) cohort_ = std::make_unique<PeriodicCohort>(sim);
@@ -39,6 +43,13 @@ void Scrubber::tick(std::size_t index) {
     next = dn->next_block_after(BlockId::invalid());
   }
   if (!next.valid()) return;  // node holds no blocks
+  if (limiter_ != nullptr &&
+      !limiter_->try_acquire(dn->block_size(next), sim_.now())) {
+    // Over budget: skip this tick without advancing the cursor, so the
+    // block is retried next interval rather than silently unscanned.
+    ++stats_.scans_throttled;
+    return;
+  }
   cursors_[index] = next;
   ++stats_.blocks_scanned;
   // Count before issuing our own read: anything in flight now (foreground

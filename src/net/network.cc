@@ -5,7 +5,10 @@
 namespace ignem {
 
 Network::Network(Simulator& sim, std::size_t node_count, NetworkProfile profile)
-    : sim_(sim), profile_(profile) {
+    : sim_(sim),
+      profile_(profile),
+      topology_(node_count, profile.rack_count),
+      reachability_(node_count) {
   IGNEM_CHECK(node_count > 0);
   BandwidthProfile bw;
   bw.sequential_bw = profile.nic_bw;
@@ -16,6 +19,22 @@ Network::Network(Simulator& sim, std::size_t node_count, NetworkProfile profile)
     nics_.push_back(std::make_unique<SharedBandwidthResource>(
         sim, "nic/" + std::to_string(i), bw));
   }
+  if (profile.rack_uplink_bw > 0.0) {
+    BandwidthProfile uplink;
+    uplink.sequential_bw = profile.rack_uplink_bw;
+    uplink.degradation = profile.degradation;
+    uplink.per_stream_cap = profile.rack_uplink_bw;
+    uplinks_.reserve(static_cast<std::size_t>(topology_.rack_count()));
+    for (int r = 0; r < topology_.rack_count(); ++r) {
+      uplinks_.push_back(std::make_unique<SharedBandwidthResource>(
+          sim, "uplink/" + std::to_string(r), uplink));
+    }
+  }
+}
+
+SharedBandwidthResource& Network::rack_uplink(int rack) {
+  IGNEM_CHECK(rack >= 0 && static_cast<std::size_t>(rack) < uplinks_.size());
+  return *uplinks_[static_cast<std::size_t>(rack)];
 }
 
 SharedBandwidthResource& Network::nic(NodeId node) {
@@ -33,9 +52,24 @@ void Network::transfer(NodeId src, NodeId dst, Bytes bytes,
                   EventClass::kTransfer);
     return;
   }
+  // Cross-rack traffic also traverses the source rack's oversubscribed
+  // uplink when the profile models one: NIC first (per-node egress), then
+  // the shared uplink channel in series. Intra-rack (or uplink-less)
+  // fabrics keep the historical single-resource path.
+  const bool via_uplink =
+      has_rack_uplinks() && !topology_.same_rack(src, dst);
   sim_.schedule(profile_.rtt,
-                [this, src, bytes, cb = std::move(on_complete)]() mutable {
-                  nic(src).start(bytes, std::move(cb));
+                [this, src, bytes, via_uplink,
+                 cb = std::move(on_complete)]() mutable {
+                  if (!via_uplink) {
+                    nic(src).start(bytes, std::move(cb));
+                    return;
+                  }
+                  const int rack = topology_.rack_of(src);
+                  nic(src).start(bytes,
+                                 [this, rack, bytes, cb = std::move(cb)]() mutable {
+                                   rack_uplink(rack).start(bytes, std::move(cb));
+                                 });
                 },
                 EventClass::kTransfer);
 }

@@ -15,6 +15,8 @@
 #include "common/check.h"
 #include "common/ids.h"
 #include "common/units.h"
+#include "net/reachability.h"
+#include "net/topology.h"
 #include "storage/bandwidth_resource.h"
 
 namespace ignem {
@@ -28,6 +30,14 @@ struct NetworkProfile {
   /// degraded networks (and the fault injector's contention windows) raise
   /// it so concurrent flows genuinely slow each other down.
   double degradation = 0.0;
+  /// Rack fabric. rack_count mirrors TestbedConfig::rack_count (Testbed
+  /// copies it in) so placement and the network agree on rack membership.
+  /// rack_uplink_bw > 0 adds one oversubscribed shared uplink channel per
+  /// rack that every cross-rack transfer must traverse after its source
+  /// NIC; zero (the default) keeps the flat single-switch fabric and the
+  /// historical event stream bit-identical.
+  int rack_count = 1;
+  Bandwidth rack_uplink_bw = 0.0;
 };
 
 class Network {
@@ -55,10 +65,27 @@ class Network {
   /// hog flows on it (network-degradation windows) and abort them later.
   SharedBandwidthResource& nic(NodeId node);
 
+  const Topology& topology() const { return topology_; }
+
+  /// Partition state. Mutated by the fault plane; read paths consult
+  /// `reachable` before choosing a source (fully-connected fast path).
+  ReachabilityMatrix& reachability() { return reachability_; }
+  bool reachable(NodeId src, NodeId dst) const {
+    return reachability_.reachable(src, dst);
+  }
+
+  /// The shared uplink channel of `rack`. Only valid when the profile set
+  /// rack_uplink_bw > 0.
+  SharedBandwidthResource& rack_uplink(int rack);
+  bool has_rack_uplinks() const { return !uplinks_.empty(); }
+
  private:
   Simulator& sim_;
   NetworkProfile profile_;
+  Topology topology_;
+  ReachabilityMatrix reachability_;
   std::vector<std::unique_ptr<SharedBandwidthResource>> nics_;
+  std::vector<std::unique_ptr<SharedBandwidthResource>> uplinks_;
 };
 
 }  // namespace ignem

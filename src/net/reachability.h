@@ -1,0 +1,115 @@
+// Who can currently talk to whom.
+//
+// Network partitions are binary, not gradual: a partitioned transfer or
+// heartbeat is dropped/stalled, never merely slowed (that is what the
+// degradation faults model). The matrix supports three fault shapes,
+// all refcounted so overlapping injection windows compose:
+//
+//   - per-node outbound blocks (node can send to nobody),
+//   - per-node inbound blocks (nobody can send to the node),
+//   - group splits keyed by an id (e.g. a rack): members of the group
+//     cannot exchange traffic with non-members, but traffic inside the
+//     group — and inside the rest of the cluster — still flows.
+//
+// reachable(src, dst) is the conjunction of all active blocks; a node can
+// always reach itself. The common fully-connected case is a single integer
+// compare so read paths can consult the matrix unconditionally without
+// perturbing fault-free traces.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+
+namespace ignem {
+
+class ReachabilityMatrix {
+ public:
+  explicit ReachabilityMatrix(std::size_t node_count)
+      : outbound_(node_count, 0), inbound_(node_count, 0) {
+    IGNEM_CHECK(node_count > 0);
+  }
+
+  std::size_t node_count() const { return outbound_.size(); }
+
+  /// True when no partition of any kind is active.
+  bool fully_connected() const { return active_blocks_ == 0; }
+
+  bool reachable(NodeId src, NodeId dst) const {
+    check_node(src);
+    check_node(dst);
+    if (active_blocks_ == 0 || src == dst) return true;
+    const auto s = static_cast<std::size_t>(src.value());
+    const auto d = static_cast<std::size_t>(dst.value());
+    if (outbound_[s] > 0 || inbound_[d] > 0) return false;
+    for (const auto& [key, group] : groups_) {
+      (void)key;
+      if (group.member[s] != group.member[d]) return false;
+    }
+    return true;
+  }
+
+  void block_outbound(NodeId node) { bump(outbound_, node, +1); }
+  void unblock_outbound(NodeId node) { bump(outbound_, node, -1); }
+  void block_inbound(NodeId node) { bump(inbound_, node, +1); }
+  void unblock_inbound(NodeId node) { bump(inbound_, node, -1); }
+
+  /// Splits `members` away from the rest of the cluster under `key`
+  /// (typically a rack id). Re-blocking an active key deepens its
+  /// refcount; membership must match the first block.
+  void block_group(std::int64_t key, const std::vector<NodeId>& members) {
+    auto it = groups_.find(key);
+    if (it != groups_.end()) {
+      ++it->second.depth;
+      ++active_blocks_;
+      return;
+    }
+    Group group;
+    group.member.assign(node_count(), false);
+    for (NodeId node : members) {
+      check_node(node);
+      group.member[static_cast<std::size_t>(node.value())] = true;
+    }
+    group.depth = 1;
+    groups_.emplace(key, std::move(group));
+    ++active_blocks_;
+  }
+
+  void unblock_group(std::int64_t key) {
+    auto it = groups_.find(key);
+    IGNEM_CHECK(it != groups_.end());
+    IGNEM_CHECK(active_blocks_ > 0);
+    --active_blocks_;
+    if (--it->second.depth == 0) groups_.erase(it);
+  }
+
+ private:
+  struct Group {
+    std::vector<bool> member;
+    int depth = 0;
+  };
+
+  void check_node(NodeId node) const {
+    IGNEM_CHECK(node.valid() &&
+                static_cast<std::size_t>(node.value()) < outbound_.size());
+  }
+
+  void bump(std::vector<int>& side, NodeId node, int delta) {
+    check_node(node);
+    int& depth = side[static_cast<std::size_t>(node.value())];
+    depth += delta;
+    active_blocks_ += delta;
+    IGNEM_CHECK(depth >= 0);
+    IGNEM_CHECK(active_blocks_ >= 0);
+  }
+
+  std::vector<int> outbound_;  ///< Refcounted "node sends to nobody" blocks.
+  std::vector<int> inbound_;   ///< Refcounted "nobody sends to node" blocks.
+  std::map<std::int64_t, Group> groups_;  ///< Keyed splits (rack partitions).
+  int active_blocks_ = 0;  ///< Sum of all depths; 0 == fully connected.
+};
+
+}  // namespace ignem

@@ -108,6 +108,18 @@ enum class TraceEventType : std::uint8_t {
   kTierDemote,          ///< copy moved down (or dropped when the target is
                         ///< the home tier); invalid block = byte-level
                         ///< write-buffer drain; detail as kTierPromote.
+  // Partition tolerance (src/net reachability + src/fault). Emitted only
+  // when partition faults are injected, so fault-free hashes are unmoved.
+  kPartitionStart,      ///< node/rack cut off; detail = variant (0 symmetric
+                        ///< node, 1 outbound-only, 2 inbound-only, 3 rack).
+  kPartitionHeal,       ///< matching end of a partition window; detail as
+                        ///< kPartitionStart.
+  kNodeSuspect,         ///< detector passed liveness_timeout but is inside
+                        ///< the suspicion grace window; not yet dead.
+  kFalseDead,           ///< detector declared a node dead whose process was
+                        ///< in fact alive (partition/heartbeat silence).
+  kExcessReplicaDeleted,  ///< rejoin reconciliation dropped an
+                          ///< over-replicated copy; bytes = block size.
   kCount              ///< Sentinel; not a real event.
 };
 

@@ -106,6 +106,11 @@ const char* trace_event_name(TraceEventType type) {
     case TraceEventType::kTierInit: return "tier_init";
     case TraceEventType::kTierPromote: return "tier_promote";
     case TraceEventType::kTierDemote: return "tier_demote";
+    case TraceEventType::kPartitionStart: return "partition_start";
+    case TraceEventType::kPartitionHeal: return "partition_heal";
+    case TraceEventType::kNodeSuspect: return "node_suspect";
+    case TraceEventType::kFalseDead: return "false_dead";
+    case TraceEventType::kExcessReplicaDeleted: return "excess_replica_deleted";
     case TraceEventType::kCount: break;
   }
   return "?";

@@ -30,6 +30,7 @@ struct ChaosResult {
   std::string integrity_mismatch; ///< Empty when corruption accounting closed.
   std::uint64_t unrepairable = 0; ///< Blocks repair gave up on.
   Bytes leaked_locked_bytes = 0;
+  std::size_t over_replicated = 0; ///< Blocks above target after the drain.
   std::string plan;  ///< For reproducing a failing seed.
 };
 
@@ -42,6 +43,14 @@ struct ChaosOptions {
   /// crashes, reroutes, and purges race victim-tier copies and the ageing
   /// sweep (TierResidencyRule watches the whole run).
   bool tiered = false;
+  /// Racks for placement, the reachability fabric, and kRackPartition
+  /// faults; 1 keeps the flat fabric (where rack partitions would silence
+  /// the whole cluster at once).
+  int rack_count = 1;
+  /// Detector suspicion grace window (0 = declare on first expiry).
+  Duration suspicion_grace = Duration::zero();
+  /// Re-replication storm throttle (0 = unthrottled).
+  Bandwidth replication_rate_limit = 0.0;
 };
 
 ChaosResult run_chaos(RunMode mode, std::uint64_t seed,
@@ -56,6 +65,9 @@ ChaosResult run_chaos(RunMode mode, std::uint64_t seed,
   config.check_invariants = true;
   config.integrity.enable_scrubber = options.scrubber;
   config.integrity.scrub_interval = Duration::seconds(5);
+  config.rack_count = options.rack_count;
+  config.detector.suspicion_grace = options.suspicion_grace;
+  config.replication_rate_limit = options.replication_rate_limit;
   if (options.tiered) {
     config.tiering.tiers = {ram_tier(1 * kGiB), ssd_tier(2 * kGiB),
                             hdd_home_tier()};
@@ -114,6 +126,16 @@ ChaosResult run_chaos(RunMode mode, std::uint64_t seed,
     result.leaked_locked_bytes +=
         testbed.datanode(NodeId(static_cast<std::int64_t>(i))).cache().used();
   }
+  // Replica-leak check: after every window has healed and recovery has
+  // drained, no block may sit above its target factor (rejoin
+  // reconciliation and the in-flight-repair discard must have trimmed it).
+  for (const auto& [block, info] : testbed.namenode().all_blocks()) {
+    (void)info;
+    if (testbed.namenode().live_locations(block).size() >
+        static_cast<std::size_t>(config.replication)) {
+      ++result.over_replicated;
+    }
+  }
   return result;
 }
 
@@ -127,6 +149,7 @@ void expect_clean(const ChaosResult& result, std::size_t expected_jobs) {
   EXPECT_EQ(result.replica_mismatch, "");
   EXPECT_EQ(result.integrity_mismatch, "");
   EXPECT_EQ(result.leaked_locked_bytes, 0u);
+  EXPECT_EQ(result.over_replicated, 0u);
   // A job may only fail when data was genuinely lost (every copy of some
   // block rotted before repair could save it); all other fault schedules
   // must degrade performance, never correctness.
@@ -192,6 +215,39 @@ TEST(Chaos, TieredFaultSweepIgnem) {
     options.plan_seed_base = 15000;
     options.tiered = true;
     return run_chaos(RunMode::kIgnem, i, options);
+  });
+  for (const ChaosResult& result : results) expect_clean(result, 12u);
+}
+
+ChaosOptions partition_options() {
+  ChaosOptions options;
+  // Everything at once: crashes, hangs, disk/network faults, corruption,
+  // and both partition shapes, against a 2-rack fabric with the suspicion
+  // grace window and the re-replication throttle engaged.
+  options.fault_kinds = kEveryFaultKind;
+  options.fault_count = 8;
+  options.plan_seed_base = 21000;
+  options.scrubber = true;
+  options.rack_count = 2;
+  options.suspicion_grace = Duration::seconds(4);
+  options.replication_rate_limit = mib_per_sec(200);
+  return options;
+}
+
+TEST(Chaos, PartitionChaosSweepIgnem) {
+  // Satisfies the partition acceptance bar: no seed may hang, leak locked
+  // bytes, or leave a single block over-replicated after every window heals.
+  constexpr std::size_t kSeeds = 20;
+  const auto results = bench::run_indexed_sweep(kSeeds, [](std::size_t i) {
+    return run_chaos(RunMode::kIgnem, i, partition_options());
+  });
+  for (const ChaosResult& result : results) expect_clean(result, 12u);
+}
+
+TEST(Chaos, PartitionChaosSweepHdfs) {
+  constexpr std::size_t kSeeds = 8;
+  const auto results = bench::run_indexed_sweep(kSeeds, [](std::size_t i) {
+    return run_chaos(RunMode::kHdfs, i, partition_options());
   });
   for (const ChaosResult& result : results) expect_clean(result, 12u);
 }

@@ -118,6 +118,14 @@ class RecordingTarget : public FaultTarget {
   void end_network_degrade(NodeId node) override { log("net-ok", node); }
   void begin_heartbeat_delay(NodeId node) override { log("hb-stop", node); }
   void end_heartbeat_delay(NodeId node) override { log("hb-ok", node); }
+  void begin_network_partition(NodeId node, int variant) override {
+    log("part-" + std::to_string(variant), node);
+  }
+  void end_network_partition(NodeId node, int variant) override {
+    log("heal-" + std::to_string(variant), node);
+  }
+  void begin_rack_partition(NodeId node) override { log("rack-part", node); }
+  void end_rack_partition(NodeId node) override { log("rack-heal", node); }
   void corrupt_block(NodeId node) override { log("corrupt", node); }
   void corrupt_cached_block(NodeId node) override {
     log("cache-corrupt", node);

@@ -427,5 +427,63 @@ TEST(ReplicaAccounting, InvalidateThenReAddIsLegal) {
   EXPECT_TRUE(h.checker.ok()) << h.checker.report();
 }
 
+TEST(WriteChecksum, FreshlyWrittenBlockVerifiesClean) {
+  // Write-path regression: every replica created through add_block carries
+  // the content-addressed checksum, so a fresh write verifies clean, rot
+  // flips exactly that replica, and a repair re-write is clean again.
+  Simulator sim;
+  DataNode dn(sim, NodeId(0), profile_for(MediaType::kHdd), 1 * kGiB,
+              Rng(7));
+  dn.add_block(BlockId(1), 64 * kMiB);
+  EXPECT_FALSE(dn.is_corrupt(BlockId(1)));
+  EXPECT_EQ(dn.stored_checksum(BlockId(1)),
+            DataNode::expected_checksum(BlockId(1), 64 * kMiB));
+
+  dn.corrupt_block(BlockId(1));
+  EXPECT_TRUE(dn.is_corrupt(BlockId(1)));
+  EXPECT_NE(dn.stored_checksum(BlockId(1)),
+            DataNode::expected_checksum(BlockId(1), 64 * kMiB));
+
+  // Repair path: the invalidated copy is removed and re-written.
+  dn.remove_block(BlockId(1));
+  dn.add_block(BlockId(1), 64 * kMiB);
+  EXPECT_FALSE(dn.is_corrupt(BlockId(1)));
+}
+
+TEST(WriteChecksum, ChecksumIsContentAddressed) {
+  // Every healthy replica of the same (block, size) agrees, regardless of
+  // which node holds it; different blocks and sizes disagree.
+  EXPECT_EQ(DataNode::expected_checksum(BlockId(3), 64 * kMiB),
+            DataNode::expected_checksum(BlockId(3), 64 * kMiB));
+  EXPECT_NE(DataNode::expected_checksum(BlockId(3), 64 * kMiB),
+            DataNode::expected_checksum(BlockId(4), 64 * kMiB));
+  EXPECT_NE(DataNode::expected_checksum(BlockId(3), 64 * kMiB),
+            DataNode::expected_checksum(BlockId(3), 32 * kMiB));
+}
+
+TEST(ScrubThrottle, RateLimitSkipsTicksAndKeepsTheCursor) {
+  auto scanned = [](Bandwidth limit, std::uint64_t* throttled) {
+    TestbedConfig config = hdfs_config(4, 3);
+    config.integrity.enable_scrubber = true;
+    config.integrity.scrub_interval = Duration::seconds(1);
+    config.integrity.scrub_rate_limit = limit;
+    config.integrity.scrub_burst = 64 * kMiB;
+    Testbed testbed(config);
+    testbed.create_file("/input", 640 * kMiB);
+    testbed.sim().run(SimTime::zero() + Duration::seconds(60));
+    *throttled = testbed.scrubber()->stats().scans_throttled;
+    return testbed.scrubber()->stats().blocks_scanned;
+  };
+  std::uint64_t throttled_free = 0, throttled_capped = 0;
+  const std::uint64_t unlimited = scanned(0.0, &throttled_free);
+  // Budget for ~one 64 MiB block per second, against 4 nodes ticking once a
+  // second each: roughly three of every four ticks must be skipped.
+  const std::uint64_t capped = scanned(mib_per_sec(64), &throttled_capped);
+  EXPECT_EQ(throttled_free, 0u);
+  EXPECT_GT(throttled_capped, 0u);
+  EXPECT_LT(capped, unlimited / 2);
+  EXPECT_GT(capped, 0u);
+}
+
 }  // namespace
 }  // namespace ignem
