@@ -26,11 +26,12 @@ ResourceManager::ResourceManager(Simulator& sim, ClusterConfig config)
         (static_cast<double>(i + 1) / static_cast<double>(config_.node_count));
     if (config_.batch_heartbeats) {
       heartbeat_members_[i] = heartbeat_cohort_->add(
-          offset, config_.heartbeat_interval, [this, id] { on_heartbeat(id); });
+          offset, config_.heartbeat_interval,
+          [this, id] { send_heartbeat(id); });
     } else {
       heartbeats_.push_back(std::make_unique<PeriodicTask>(
           sim_, offset, config_.heartbeat_interval,
-          [this, id] { on_heartbeat(id); }));
+          [this, id] { send_heartbeat(id); }));
     }
   }
   if (config_.enable_failure_detection) {
@@ -98,12 +99,36 @@ void ResourceManager::resume_heartbeat(NodeId node) {
     heartbeat_members_[i] =
         heartbeat_cohort_->add(config_.heartbeat_interval,
                                config_.heartbeat_interval,
-                               [this, node] { on_heartbeat(node); });
+                               [this, node] { send_heartbeat(node); });
   } else {
     heartbeats_[i] = std::make_unique<PeriodicTask>(
         sim_, config_.heartbeat_interval, config_.heartbeat_interval,
-        [this, node] { on_heartbeat(node); });
+        [this, node] { send_heartbeat(node); });
   }
+}
+
+void ResourceManager::send_heartbeat(NodeId node) {
+  if (router_ == nullptr) {
+    on_heartbeat(node);
+    return;
+  }
+  // Routed: the beat is a datagram from the NodeManager to the control
+  // node. A partition drops it on the floor, so the liveness monitor sees
+  // genuine silence instead of the Testbed having to suppress the task.
+  router_->oneway(node, router_->control_node(),
+                  [this, node] { on_heartbeat(node); });
+}
+
+void ResourceManager::reclaim_grant(const ContainerGrant& grant) {
+  const auto it = active_.find(grant.id);
+  if (it == active_.end()) return;  // node declared dead meanwhile: purged
+  auto on_lost = std::move(it->second.on_lost);
+  active_.erase(it);
+  node_manager(grant.node).release();
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kContainerRelease, grant.node);
+  }
+  if (on_lost != nullptr) on_lost();
 }
 
 void ResourceManager::check_liveness() {
@@ -212,11 +237,22 @@ void ResourceManager::on_heartbeat(NodeId node) {
       // task code runs. If the node is declared dead before launch finishes
       // the grant is purged and the callback never fires (on_lost already
       // re-requested).
-      sim_.schedule(config_.container_launch,
-                    [this, cb = std::move(on_allocated), grant] {
-                      if (!active_.contains(grant.id)) return;
-                      cb(grant);
-                    });
+      auto launch = [this, cb = std::move(on_allocated), grant]() {
+        sim_.schedule(config_.container_launch, [this, cb, grant] {
+          if (!active_.contains(grant.id)) return;
+          cb(grant);
+        });
+      };
+      if (router_ == nullptr) {
+        launch();
+      } else {
+        // Routed: the grant travels control node -> slave. When the RPC
+        // cannot land before the deadline (the slave's rack is cut off),
+        // the slot is reclaimed so the owner re-requests elsewhere instead
+        // of waiting on a container that will never start.
+        router_->call(router_->control_node(), grant.node, std::move(launch),
+                      [this, grant](RpcOutcome) { reclaim_grant(grant); });
+      }
     }
     if (manager.free_slots() == 0) break;
   }

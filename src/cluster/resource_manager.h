@@ -20,6 +20,7 @@
 #include "cluster/node_manager.h"
 #include "common/ids.h"
 #include "common/units.h"
+#include "net/rpc.h"
 #include "sim/periodic.h"
 #include "sim/simulator.h"
 
@@ -109,8 +110,19 @@ class ResourceManager : public JobLivenessOracle {
   /// Emits kJobRegister/kJobComplete and kContainerAllocate/Release.
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
+  /// Routes NodeManager heartbeats (oneway: dropped across a cut, so the
+  /// liveness monitor sees real silence) and container-grant deliveries
+  /// (reliable call: an undeliverable grant reclaims its slot and fires
+  /// on_lost) through the control node. Null — the default — keeps the
+  /// historical direct paths, event-for-event.
+  void set_rpc_router(RpcRouter* router) { router_ = router; }
+
  private:
+  void send_heartbeat(NodeId node);
   void on_heartbeat(NodeId node);
+  /// A granted container whose launch RPC never reached the node: return
+  /// the slot and let the owner re-request via on_lost.
+  void reclaim_grant(const ContainerGrant& grant);
   void check_liveness();
   void declare_node_dead(NodeId node);
   bool prefers(const ContainerRequest& request, NodeId node) const;
@@ -118,6 +130,7 @@ class ResourceManager : public JobLivenessOracle {
   Simulator& sim_;
   ClusterConfig config_;
   TraceRecorder* trace_ = nullptr;
+  RpcRouter* router_ = nullptr;
   std::vector<std::unique_ptr<NodeManager>> nodes_;
   // Unbatched: one PeriodicTask per node. Batched: one cohort, one member
   // id per node (0 while the node's heartbeat is halted).

@@ -16,6 +16,9 @@ namespace ignem {
 /// bytes/sec; `burst` is how many bytes may pass instantaneously after an
 /// idle period before pacing kicks in. All math is integer microseconds
 /// (via transfer_time) so identical call sequences produce identical waits.
+/// A rate of zero means "pacing disabled": reserve() always answers "go
+/// now" and try_acquire() always succeeds — an unlimited budget, never an
+/// infinite wait, so a caller holding a concurrency slot cannot deadlock.
 class RateLimiter {
  public:
   RateLimiter(Bandwidth rate, Bytes burst);

@@ -104,14 +104,39 @@ void IgnemMaster::do_evict(const MigrationRequest& request) {
   job_info_.erase(request.job);
   for (auto& [node, blocks] : batches) {
     ++stats_.batches_sent;
-    sim_.schedule(config_.rpc_latency,
-                  [this, node, job = request.job, blocks = std::move(blocks)] {
-                    if (failed_) return;
-                    slaves_[static_cast<std::size_t>(node.value())]
-                        ->handle_evict_batch(job, blocks);
-                  },
-                  EventClass::kRpc);
+    send_evict_batch(node, request.job, std::move(blocks));
   }
+}
+
+void IgnemMaster::send_evict_batch(NodeId node, JobId job,
+                                   std::vector<BlockId> blocks) {
+  auto deliver = [this, node, job, blocks] {
+    if (failed_) return;
+    slaves_[static_cast<std::size_t>(node.value())]->handle_evict_batch(
+        job, blocks);
+  };
+  if (router_ == nullptr) {
+    sim_.schedule(config_.rpc_latency, std::move(deliver), EventClass::kRpc);
+    return;
+  }
+  router_->call(
+      router_->control_node(), node, std::move(deliver),
+      [this, node, job, blocks = std::move(blocks)](RpcOutcome) mutable {
+        // Unlike a dropped migrate, a dropped evict leaks locked bytes for
+        // as long as the slave process lives: keep re-sending after the
+        // backoff cap until a heal lets one through. A dead process took
+        // its locked memory with it, so retrying stops there (rejoin
+        // reconciliation covers a later restart).
+        const DataNode* dn = namenode_.datanode(node);
+        if (dn == nullptr || !dn->alive()) return;
+        ++stats_.rpc_evict_retries;
+        sim_.schedule(config_.retry_backoff_cap,
+                      [this, node, job, blocks = std::move(blocks)]() mutable {
+                        if (failed_) return;
+                        send_evict_batch(node, job, std::move(blocks));
+                      },
+                      EventClass::kRetry);
+      });
 }
 
 void IgnemMaster::fail() {
@@ -177,13 +202,20 @@ void IgnemMaster::send_migrate_batches(
     std::map<NodeId, std::vector<PendingMigration>>& batches) {
   for (auto& [target, batch] : batches) {
     ++stats_.batches_sent;
-    sim_.schedule(config_.rpc_latency,
-                  [this, target, batch = std::move(batch)] {
-                    if (failed_) return;
-                    slaves_[static_cast<std::size_t>(target.value())]
-                        ->handle_migrate_batch(batch);
-                  },
-                  EventClass::kRpc);
+    auto deliver = [this, target, batch = std::move(batch)] {
+      if (failed_) return;
+      slaves_[static_cast<std::size_t>(target.value())]
+          ->handle_migrate_batch(batch);
+    };
+    if (router_ == nullptr) {
+      sim_.schedule(config_.rpc_latency, std::move(deliver), EventClass::kRpc);
+      continue;
+    }
+    // Routed: a cut that outlives the deadline+retry budget drops the
+    // batch. Migration is best-effort acceleration — the job still reads
+    // from disk — so dropping beats queueing stale commands (§III-A5).
+    router_->call(router_->control_node(), target, std::move(deliver),
+                  [this](RpcOutcome) { ++stats_.rpc_batches_lost; });
   }
 }
 
@@ -218,9 +250,7 @@ void IgnemMaster::on_node_rejoin(NodeId node) {
   if (failed_) return;
   // One RPC exchange: the slave reports its tracked references, the master
   // reconciles, and eviction orders for the stale ones ride the reply.
-  sim_.schedule(
-      config_.rpc_latency,
-      [this, node] {
+  auto exchange = [this, node] {
         if (failed_) return;
         IgnemSlave* slave = slaves_[static_cast<std::size_t>(node.value())];
         std::map<JobId, std::vector<BlockId>> evict;
@@ -250,8 +280,16 @@ void IgnemMaster::on_node_rejoin(NodeId node) {
         for (const auto& [job, blocks] : evict) {
           slave->handle_evict_batch(job, blocks);
         }
-      },
-      EventClass::kRpc);
+  };
+  if (router_ == nullptr) {
+    sim_.schedule(config_.rpc_latency, std::move(exchange), EventClass::kRpc);
+    return;
+  }
+  // Routed: the block report travels slave -> control node. A drop is
+  // benign — the node typically rejoins *because* the cut healed, and a
+  // still-partitioned rejoin will be reported again at the next one.
+  router_->call(node, router_->control_node(), std::move(exchange),
+                [this](RpcOutcome) { ++stats_.rpc_batches_lost; });
 }
 
 NodeId IgnemMaster::chosen_replica(JobId job, BlockId block) const {

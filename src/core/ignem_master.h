@@ -21,6 +21,7 @@
 #include "core/ignem_slave.h"
 #include "dfs/migration_service.h"
 #include "dfs/namenode.h"
+#include "net/rpc.h"
 #include "sim/simulator.h"
 
 namespace ignem {
@@ -32,6 +33,12 @@ struct MasterStats {
   std::uint64_t batches_sent = 0;
   std::uint64_t rejoin_reclaimed = 0;  ///< References kept/re-adopted on rejoin.
   std::uint64_t rejoin_purged = 0;     ///< References evicted on rejoin.
+  /// Routed mode only: migrate batches / rejoin exchanges dropped because
+  /// the control RPC never landed (the job just misses its speed-up).
+  std::uint64_t rpc_batches_lost = 0;
+  /// Routed mode only: evict batches re-sent after an RPC failure —
+  /// evictions must eventually land or locked bytes would leak.
+  std::uint64_t rpc_evict_retries = 0;
 };
 
 class IgnemMaster : public MigrationService {
@@ -85,6 +92,13 @@ class IgnemMaster : public MigrationService {
   /// Emits kMigrateRequest/kEvictRequest when client RPCs are processed.
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
+  /// Routes master->slave batches (migrate, evict) and the rejoin exchange
+  /// through the control node with deadline+retry semantics. The client
+  /// `request()` RPC stays direct: the submitter co-runs with the job, and
+  /// modeling its link is out of scope here. Null — the default — keeps the
+  /// historical fixed-latency direct sends.
+  void set_rpc_router(RpcRouter* router) { router_ = router; }
+
  private:
   void process(const MigrationRequest& request);
   void do_migrate(const MigrationRequest& request);
@@ -99,12 +113,17 @@ class IgnemMaster : public MigrationService {
   /// Ships each per-slave batch after one RPC latency.
   void send_migrate_batches(
       std::map<NodeId, std::vector<PendingMigration>>& batches);
+  /// Ships one eviction batch; in routed mode an undeliverable batch is
+  /// re-sent after the backoff cap until the slave's memory is known gone
+  /// (process death) — a lost evict would leak locked bytes forever.
+  void send_evict_batch(NodeId node, JobId job, std::vector<BlockId> blocks);
 
   Simulator& sim_;
   NameNode& namenode_;
   IgnemConfig config_;
   Rng rng_;
   TraceRecorder* trace_ = nullptr;
+  RpcRouter* router_ = nullptr;
   std::vector<IgnemSlave*> slaves_;
   bool failed_ = false;
 

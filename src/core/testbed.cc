@@ -96,9 +96,27 @@ Testbed::Testbed(TestbedConfig config)
   // who is off-rack.
   config_.network.rack_count = config_.rack_count;
   network_ = std::make_unique<Network>(sim_, n, config_.network);
+  network_->set_trace(trace_.get());
+  if (config_.control_plane.sever_transfers) {
+    network_->set_sever_transfers(true);
+    if (config_.enable_metrics) network_->set_metrics_registry(&registry_);
+  }
+  if (config_.control_plane.routed) {
+    RpcConfig rpc;
+    rpc.control_node = config_.control_plane.control_node;
+    rpc.latency = config_.ignem.rpc_latency;
+    rpc.deadline = config_.control_plane.rpc_deadline;
+    rpc.max_retries = config_.control_plane.rpc_max_retries;
+    rpc.backoff_base = config_.control_plane.rpc_backoff_base;
+    rpc.backoff_cap = config_.control_plane.rpc_backoff_cap;
+    IGNEM_CHECK(static_cast<std::size_t>(rpc.control_node.value()) < n);
+    rpc_router_ = std::make_unique<RpcRouter>(sim_, *network_, rpc);
+    rpc_router_->set_trace(trace_.get());
+  }
   hb_suppress_depth_.assign(n, 0);
   rm_ = std::make_unique<ResourceManager>(sim_, config_.cluster);
   rm_->set_trace(trace_.get());
+  rm_->set_rpc_router(rpc_router_.get());
   dfs_ = std::make_unique<DfsClient>(sim_, *namenode_, *network_, &metrics_);
   // Always constructed — its constructor schedules nothing, so fault-free
   // traces are unaffected; repairs only start when the detection hooks
@@ -106,6 +124,7 @@ Testbed::Testbed(TestbedConfig config)
   replication_manager_ = std::make_unique<ReplicationManager>(
       sim_, *namenode_, *network_, rng_.fork(4));
   replication_manager_->set_trace(trace_.get());
+  replication_manager_->set_rpc_router(rpc_router_.get());
   if (config_.replication_rate_limit > 0.0) {
     repl_limiter_ = std::make_unique<RateLimiter>(
         config_.replication_rate_limit, config_.replication_burst);
@@ -117,6 +136,7 @@ Testbed::Testbed(TestbedConfig config)
       master_ = std::make_unique<IgnemMaster>(sim_, *namenode_, config_.ignem,
                                               rng_.fork(2));
       master_->set_trace(trace_.get());
+      master_->set_rpc_router(rpc_router_.get());
       for (std::size_t i = 0; i < n; ++i) {
         slaves_.push_back(std::make_unique<IgnemSlave>(
             sim_, *datanodes_[i], config_.ignem, rm_.get()));
@@ -149,6 +169,7 @@ Testbed::Testbed(TestbedConfig config)
     detector_ = std::make_unique<FailureDetector>(sim_, *namenode_,
                                                   config_.detector);
     detector_->set_trace(trace_.get());
+    detector_->set_rpc_router(rpc_router_.get());
     detector_->set_on_node_dead([this](NodeId node) {
       // handle_node_failure marks the node dead in the namespace and queues
       // re-replication; the Ignem master then reroutes the migrations it had
@@ -548,11 +569,16 @@ void Testbed::begin_network_partition(NodeId node, int variant) {
     default:
       IGNEM_CHECK_MSG(false, "unknown partition variant " << variant);
   }
+  network_->sever_partitioned_transfers();
   // Heartbeats travel node -> NameNode/RM, so any outbound cut silences
   // them. An inbound-only cut leaves them flowing: the node looks alive to
   // the detector while nobody can actually send it data — the asymmetric
   // shape that makes reachability checks on the read/repair paths matter.
-  if (variant == 0 || variant == 1) suppress_heartbeats(node);
+  // With a routed control plane the beats are real RPCs gated on the same
+  // matrix, so the Testbed no longer needs to fake the silence.
+  if (rpc_router_ == nullptr && (variant == 0 || variant == 1)) {
+    suppress_heartbeats(node);
+  }
 }
 
 void Testbed::end_network_partition(NodeId node, int variant) {
@@ -569,7 +595,9 @@ void Testbed::end_network_partition(NodeId node, int variant) {
     default:
       IGNEM_CHECK_MSG(false, "unknown partition variant " << variant);
   }
-  if (variant == 0 || variant == 1) release_heartbeats(node);
+  if (rpc_router_ == nullptr && (variant == 0 || variant == 1)) {
+    release_heartbeats(node);
+  }
 }
 
 void Testbed::begin_rack_partition(NodeId node) {
@@ -577,17 +605,25 @@ void Testbed::begin_rack_partition(NodeId node) {
   const int rack = network_->topology().rack_of(node);
   const std::vector<NodeId> members = network_->topology().rack_members(rack);
   network_->reachability().block_group(rack, members);
-  // The control plane (NameNode/RM/detector) lives outside the cut rack, so
-  // every member's heartbeats stop; intra-rack data traffic still flows.
-  for (const NodeId member : members) suppress_heartbeats(member);
+  network_->sever_partitioned_transfers();
+  // Unrouted legacy model: the control plane (NameNode/RM/detector) is
+  // assumed to live outside the cut rack, so every member's heartbeats
+  // stop; intra-rack data traffic still flows. With a routed control plane
+  // the beats gate on the matrix itself — which also gets the control
+  // node's own rack right: cutting *its* rack silences everyone else.
+  if (rpc_router_ == nullptr) {
+    for (const NodeId member : members) suppress_heartbeats(member);
+  }
 }
 
 void Testbed::end_rack_partition(NodeId node) {
   emit_fault_event(TraceEventType::kPartitionHeal, node, /*detail=*/3);
   const int rack = network_->topology().rack_of(node);
   network_->reachability().unblock_group(rack);
-  for (const NodeId member : network_->topology().rack_members(rack)) {
-    release_heartbeats(member);
+  if (rpc_router_ == nullptr) {
+    for (const NodeId member : network_->topology().rack_members(rack)) {
+      release_heartbeats(member);
+    }
   }
 }
 
@@ -789,6 +825,27 @@ RunReport Testbed::build_run_report(const std::string& name) {
         .set(detector_->false_dead_total());
   }
 
+  // Control-plane instruments exist only when the knobs are on, so the
+  // default configuration's report bytes are unchanged.
+  if (rpc_router_ != nullptr) {
+    const RpcStats& rpc = rpc_router_->stats();
+    registry_.counter("rpc.calls_total").set(rpc.calls);
+    registry_.counter("rpc.delivered_total").set(rpc.delivered);
+    registry_.counter("rpc.retries_total").set(rpc.retries);
+    registry_.counter("rpc.timeout_total").set(rpc.timeouts);
+    registry_.counter("rpc.unreachable_total").set(rpc.unreachable);
+    registry_.counter("rpc.oneways_total").set(rpc.oneways);
+    registry_.counter("rpc.oneways_dropped_total").set(rpc.oneways_dropped);
+    if (detector_ != nullptr) {
+      registry_.counter("detector.false_dead_control_cut")
+          .set(detector_->false_dead_control_total());
+    }
+  }
+  if (config_.control_plane.sever_transfers) {
+    registry_.counter("net.transfers_severed")
+        .set(network_->transfers_severed());
+  }
+
   const IntegrityStats& integ = integrity_->stats();
   registry_.counter("integrity.disk_corrupt_detected")
       .set(integ.disk_corrupt_detected);
@@ -825,6 +882,12 @@ RunReport Testbed::build_run_report(const std::string& name) {
     registry_.counter("ignem.master.batches_sent").set(m.batches_sent);
     registry_.counter("ignem.master.rejoin_reclaimed").set(m.rejoin_reclaimed);
     registry_.counter("ignem.master.rejoin_purged").set(m.rejoin_purged);
+    if (rpc_router_ != nullptr) {
+      registry_.counter("ignem.master.rpc_batches_lost")
+          .set(m.rpc_batches_lost);
+      registry_.counter("ignem.master.rpc_evict_retries")
+          .set(m.rpc_evict_retries);
+    }
   }
   if (!slaves_.empty()) {
     std::uint64_t migrations = 0, commands = 0, evictions = 0;

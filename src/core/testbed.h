@@ -36,6 +36,7 @@
 #include "metrics/report.h"
 #include "metrics/run_metrics.h"
 #include "net/network.h"
+#include "net/rpc.h"
 #include "obs/invariant_checker.h"
 #include "obs/trace_recorder.h"
 #include "sim/periodic.h"
@@ -72,6 +73,31 @@ struct TieringConfig {
   /// Period of the per-node ageing sweep (DownwardOnCold only); zero
   /// disables ageing.
   Duration age_check_period = Duration::seconds(5.0);
+};
+
+/// Control-plane fault domain (see docs/FAULTS.md "Control-plane
+/// partitions"). Default-off: the masters stay outside the fabric and every
+/// control exchange is a direct call, the historical bit-identical model.
+struct ControlPlaneConfig {
+  /// Routes every master<->slave control RPC (heartbeats, container grants,
+  /// migration/evict commands, repair orders, rejoin block reports) through
+  /// the RpcRouter: one latency per attempt, delivered only when the
+  /// reachability matrix permits, deadline + capped-backoff retries with
+  /// typed outcomes. A partition can then isolate the control node itself.
+  bool routed = false;
+  /// Rack-resident home of the NameNode/RM/IgnemMaster when routed; cutting
+  /// this node's rack cuts the cluster off from its brain.
+  NodeId control_node = NodeId(0);
+  /// Reliable-call retry envelope (per-attempt latency reuses
+  /// IgnemConfig::rpc_latency so routed and direct calls price one hop the
+  /// same way).
+  Duration rpc_deadline = Duration::seconds(2.0);
+  int rpc_max_retries = 4;
+  Duration rpc_backoff_base = Duration::millis(100);
+  Duration rpc_backoff_cap = Duration::seconds(2.0);
+  /// Partition cuts abort in-flight transfers crossing them, with partial
+  /// progress refunded (see Network::sever_partitioned_transfers).
+  bool sever_transfers = false;
 };
 
 struct TestbedConfig {
@@ -122,6 +148,8 @@ struct TestbedConfig {
   Bytes replication_burst = 256 * kMiB;
   /// N-tier storage hierarchy + migration policy (see TieringConfig).
   TieringConfig tiering;
+  /// Routed control plane + partition-severed transfers (default off).
+  ControlPlaneConfig control_plane;
   /// Batches every periodic cohort (RM heartbeats, detector heartbeats,
   /// scrub ticks) through one repeating kernel event each instead of one
   /// event per node (see PeriodicCohort). Tick times are identical; the
@@ -231,6 +259,8 @@ class Testbed : public FaultTarget {
   ReplicationManager& replication_manager() { return *replication_manager_; }
   /// Null unless config.fault_tolerance was set.
   FailureDetector* failure_detector() { return detector_.get(); }
+  /// Null unless config.control_plane.routed was set.
+  RpcRouter* rpc_router() { return rpc_router_.get(); }
   IntegrityManager& integrity_manager() { return *integrity_; }
   /// Null unless config.integrity.enable_scrubber was set.
   Scrubber* scrubber() { return scrubber_.get(); }
@@ -305,6 +335,9 @@ class Testbed : public FaultTarget {
   std::vector<std::unique_ptr<DataNode>> datanodes_;
   std::unique_ptr<NameNode> namenode_;
   std::unique_ptr<Network> network_;
+  /// Routed control-plane RPCs (null when control_plane.routed is off —
+  /// components then keep their historical direct-call paths).
+  std::unique_ptr<RpcRouter> rpc_router_;
   std::unique_ptr<ResourceManager> rm_;
   std::unique_ptr<DfsClient> dfs_;
   std::unique_ptr<ReplicationManager> replication_manager_;

@@ -181,7 +181,25 @@ void DfsClient::attempt_read(NodeId reader, BlockId block, JobId job,
           cb(record);
         };
         if (remote) {
-          network_.transfer(source, reader, bytes, finish);
+          network_.transfer(
+              source, reader, bytes, finish,
+              [this, reader, block, job, start, cb] {
+                // Severed mid-transfer by a fresh partition cut: fail over
+                // to a reachable replica, deadline-checked like a source
+                // death (choose_replica skips unreachable nodes).
+                if (sim_.now() - start >= read_deadline_) {
+                  fail_read(reader, block, job, start, cb);
+                  return;
+                }
+                ++stats_.retries;
+                ++stats_.replica_failovers;
+                sim_.schedule(kReadRetryDelay,
+                              [this, reader, block, job, start, cb]() mutable {
+                                attempt_read(reader, block, job, start,
+                                             std::move(cb));
+                              },
+                              EventClass::kRetry);
+              });
         } else {
           finish();
         }

@@ -91,11 +91,18 @@ void ReplicationManager::handle_corrupt_replica(BlockId block,
 }
 
 void ReplicationManager::pump() {
+  // repair()'s synchronous exits call pump() again; without the guard a long
+  // queue of already-healthy blocks recurses once per entry and overflows
+  // the stack. Reentrant calls return and the outer loop keeps draining —
+  // the queue stays FIFO either way, so the repair order is unchanged.
+  if (pumping_) return;
+  pumping_ = true;
   while (in_flight_ < max_concurrent_ && !queue_.empty()) {
     const BlockId block = queue_.front();
     queue_.pop_front();
     repair(block);
   }
+  pumping_ = false;
 }
 
 void ReplicationManager::retry_later(BlockId block) {
@@ -225,6 +232,23 @@ void ReplicationManager::repair(BlockId block) {
 
 void ReplicationManager::start_copy(BlockId block, NodeId source,
                                     NodeId target, Bytes bytes) {
+  if (router_ == nullptr) {
+    do_start_copy(block, source, target, bytes);
+    return;
+  }
+  // Routed: the repair order is a control RPC NameNode -> source. While
+  // the control link is cut the order cannot land; the block requeues and
+  // repair resumes once a later attempt finds the cut healed.
+  router_->call(
+      router_->control_node(), source,
+      [this, block, source, target, bytes] {
+        do_start_copy(block, source, target, bytes);
+      },
+      [this, block](RpcOutcome) { retry_later(block); });
+}
+
+void ReplicationManager::do_start_copy(BlockId block, NodeId source,
+                                       NodeId target, Bytes bytes) {
   if (trace_ != nullptr) {
     trace_->emit(TraceEventType::kRepairStart, source, block,
                  JobId::invalid(), bytes, target.value());
@@ -241,7 +265,9 @@ void ReplicationManager::start_copy(BlockId block, NodeId source,
           retry_later(block);
           return;
         }
-        network_.transfer(source, target, bytes, [this, block, target, bytes] {
+        network_.transfer(
+            source, target, bytes,
+            [this, block, target, bytes] {
           DataNode* dn = namenode_.datanode(target);
           if (!namenode_.is_node_alive(target) || !dn->disk_ok()) {
             retry_later(block);  // target died mid-copy
@@ -282,7 +308,13 @@ void ReplicationManager::start_copy(BlockId block, NodeId source,
             }
             pump();
           });
-        });
+            },
+            [this, block] {
+              // The copy crossed a fresh partition cut and was severed:
+              // its bytes are refunded, the repair retries on a new
+              // source/target pair after the heal or around the cut.
+              retry_later(block);
+            });
       });
 }
 

@@ -17,6 +17,7 @@
 #include "common/rng.h"
 #include "dfs/namenode.h"
 #include "net/network.h"
+#include "net/rpc.h"
 #include "sim/simulator.h"
 
 namespace ignem {
@@ -79,12 +80,21 @@ class ReplicationManager {
   /// immediately — the historical path, byte-identical.
   void set_rate_limiter(RateLimiter* limiter) { limiter_ = limiter; }
 
+  /// Routes each repair order (NameNode -> source DataNode) through the
+  /// control plane: while the control link is cut the order cannot land,
+  /// so the repair requeues after a delay — repairs *pause* during the
+  /// partition instead of proceeding on ghost state. Null — the default —
+  /// keeps direct orders.
+  void set_rpc_router(RpcRouter* router) { router_ = router; }
+
  private:
   void pump();
   void repair(BlockId block);
-  /// The actual copy pipeline, after source/target are chosen and any
-  /// throttle delay has elapsed.
+  /// Ships the repair order to the source (routed when a router is wired),
+  /// after source/target are chosen and any throttle delay has elapsed.
   void start_copy(BlockId block, NodeId source, NodeId target, Bytes bytes);
+  /// The actual copy pipeline, running on the source once the order landed.
+  void do_start_copy(BlockId block, NodeId source, NodeId target, Bytes bytes);
   /// A repair attempt died mid-copy: put the block back after `kRetryDelay`.
   void retry_later(BlockId block);
 
@@ -96,9 +106,11 @@ class ReplicationManager {
   Rng rng_;
   TraceRecorder* trace_ = nullptr;
   RateLimiter* limiter_ = nullptr;
+  RpcRouter* router_ = nullptr;
   int max_concurrent_;
   int target_replication_ = 3;
   int in_flight_ = 0;
+  bool pumping_ = false;  ///< Reentrancy guard: repair() paths call pump().
   std::deque<BlockId> queue_;
   std::unordered_set<BlockId> queued_;  ///< Queued or actively repairing.
   ReplicationStats stats_;

@@ -25,15 +25,27 @@ FailureDetector::FailureDetector(Simulator& sim, NameNode& namenode,
                              static_cast<double>(n));
     if (config_.batch_heartbeats) {
       heartbeat_members_[i] = heartbeat_cohort_->add(
-          offset, config_.heartbeat_interval, [this, id] { beat(id); });
+          offset, config_.heartbeat_interval, [this, id] { send_beat(id); });
     } else {
       heartbeats_.push_back(std::make_unique<PeriodicTask>(
-          sim_, offset, config_.heartbeat_interval, [this, id] { beat(id); }));
+          sim_, offset, config_.heartbeat_interval,
+          [this, id] { send_beat(id); }));
     }
   }
   monitor_ = std::make_unique<PeriodicTask>(
       sim_, config_.check_interval, config_.check_interval,
       [this] { check(); });
+}
+
+void FailureDetector::send_beat(NodeId node) {
+  if (router_ == nullptr) {
+    beat(node);
+    return;
+  }
+  // Routed: the beat is a datagram crossing the fabric to the control
+  // node; a partition drops it, so the monitor sees genuine silence.
+  router_->oneway(node, router_->control_node(),
+                  [this, node] { beat(node); });
 }
 
 void FailureDetector::beat(NodeId node) {
@@ -81,9 +93,21 @@ void FailureDetector::check() {
       // (the detector cannot distinguish, that is the point).
       ++false_dead_total_;
       if (false_dead_counter_ != nullptr) false_dead_counter_->add(1);
+      // In routed mode the cause is observable: a node declared dead while
+      // its *control* link is cut was killed by the partition, not by any
+      // node fault. detail = 1 marks these in the trace.
+      std::int64_t cause = 0;
+      if (router_ != nullptr &&
+          !router_->can_reach(node, router_->control_node())) {
+        ++false_dead_control_total_;
+        if (false_dead_control_counter_ != nullptr) {
+          false_dead_control_counter_->add(1);
+        }
+        cause = 1;
+      }
       if (trace_ != nullptr) {
         trace_->emit(TraceEventType::kFalseDead, node, BlockId::invalid(),
-                     JobId::invalid(), 0, /*detail=*/0);
+                     JobId::invalid(), 0, /*detail=*/cause);
       }
     }
     if (trace_ != nullptr) {
@@ -124,11 +148,11 @@ void FailureDetector::resume_heartbeat(NodeId node) {
     heartbeat_members_[i] =
         heartbeat_cohort_->add(config_.heartbeat_interval,
                                config_.heartbeat_interval,
-                               [this, node] { beat(node); });
+                               [this, node] { send_beat(node); });
   } else {
     heartbeats_[i] = std::make_unique<PeriodicTask>(
         sim_, config_.heartbeat_interval, config_.heartbeat_interval,
-        [this, node] { beat(node); });
+        [this, node] { send_beat(node); });
   }
 }
 

@@ -21,6 +21,7 @@
 #include "common/units.h"
 #include "dfs/namenode.h"
 #include "metrics/registry.h"
+#include "net/rpc.h"
 #include "obs/trace_recorder.h"
 #include "sim/periodic.h"
 #include "sim/simulator.h"
@@ -71,6 +72,13 @@ class FailureDetector {
   /// (NameNode-side detection).
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
+  /// Routes DataNode heartbeats through the control node as datagrams: a
+  /// cut control link drops beats, so silence arises from the topology
+  /// itself instead of Testbed-side suppression, and a heal resumes beats
+  /// (clearing suspicion) with no extra machinery. Must be wired before
+  /// set_metrics_registry. Null — the default — keeps direct beats.
+  void set_rpc_router(RpcRouter* router) { router_ = router; }
+
   /// Wires the detection-latency histogram ("fault.detection_latency_us":
   /// silence duration — now minus the dead node's last heartbeat — at the
   /// moment of declaration) and the "detector.false_dead_total" counter.
@@ -83,17 +91,31 @@ class FailureDetector {
     false_dead_counter_ =
         registry == nullptr ? nullptr
                             : &registry->counter("detector.false_dead_total");
+    // Only materialized in routed mode: creating the instrument otherwise
+    // would change metric-enabled run reports that predate the router.
+    false_dead_control_counter_ =
+        registry == nullptr || router_ == nullptr
+            ? nullptr
+            : &registry->counter("detector.false_dead_control_cut");
   }
 
   /// Declarations of death whose target process was in fact alive — the
   /// cost of conflating silence (partition, heartbeat delay) with failure.
   std::uint64_t false_dead_total() const { return false_dead_total_; }
 
+  /// The subset of false_dead_total caused solely by a severed *control*
+  /// link: the node's process was up but its beats could not reach the
+  /// control node (routed mode only; always zero otherwise).
+  std::uint64_t false_dead_control_total() const {
+    return false_dead_control_total_;
+  }
+
   bool is_suspect(NodeId node) const {
     return suspected_[static_cast<std::size_t>(node.value())];
   }
 
  private:
+  void send_beat(NodeId node);
   void beat(NodeId node);
   void check();
 
@@ -101,6 +123,7 @@ class FailureDetector {
   NameNode& namenode_;
   FailureDetectorConfig config_;
   TraceRecorder* trace_ = nullptr;
+  RpcRouter* router_ = nullptr;
   // Unbatched: one PeriodicTask per node. Batched: one cohort, one member
   // id per node (0 while the node's heartbeat is halted).
   std::vector<std::unique_ptr<PeriodicTask>> heartbeats_;  // index == node
@@ -111,7 +134,9 @@ class FailureDetector {
   std::function<void(NodeId)> on_node_rejoined_;
   HistogramMetric* detection_latency_ = nullptr;
   Counter* false_dead_counter_ = nullptr;
+  Counter* false_dead_control_counter_ = nullptr;
   std::uint64_t false_dead_total_ = 0;
+  std::uint64_t false_dead_control_total_ = 0;
   std::vector<bool> suspected_;  // index == node; only set under grace > 0
 };
 

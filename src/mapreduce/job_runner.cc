@@ -6,6 +6,14 @@
 #include "common/check.h"
 
 namespace ignem {
+namespace {
+// A shuffle whose senders are cut off retries the missing shares at this
+// cadence until the partition heals...
+constexpr Duration kShuffleRetryDelay = Duration::seconds(1.0);
+// ...and gives up — failing the job like a terminal read — once a cut
+// outlives this window, so no reduce task hangs forever.
+constexpr Duration kShuffleDeadline = Duration::seconds(600.0);
+}  // namespace
 
 JobRunner::JobRunner(Simulator& sim, ResourceManager& rm, DfsClient& dfs,
                      Network& network, RunMetrics* metrics, JobId id,
@@ -111,6 +119,7 @@ void JobRunner::launch_map(std::size_t index, const ContainerGrant& grant) {
                                   read] {
             if (epoch != map_epoch_[index]) return;
             const MapTask& task = maps_[index];
+            map_output_nodes_[node] += task.bytes;
             if (metrics_ != nullptr) {
               TaskRecord record;
               record.task = task.id;
@@ -178,47 +187,117 @@ void JobRunner::launch_reduce(std::size_t index, const ContainerGrant& grant) {
                                               output_share, task_id] {
     if (epoch != reduce_epoch_[index]) return;
     // Shuffle: fan-in through the reducer's NIC. Map outputs sit in the
-    // senders' page caches, so the network is the chokepoint.
-    network_.ingress_transfer(node, shuffle_share, [this, index, grant, node,
-                                                    start, epoch,
-                                                    shuffle_share, output_share,
-                                                    task_id] {
-      if (epoch != reduce_epoch_[index]) return;
-      const double mib =
-          static_cast<double>(shuffle_share) / static_cast<double>(kMiB);
-      const Duration compute =
-          Duration::seconds(spec_.compute.reduce_cpu_secs_per_mib * mib);
-      // Merge compute and the output write overlap: reducers stream merged
-      // output to the DFS as they go. The write still rides the local
-      // device channel, so write-heavy jobs (sort) contend with reads.
-      auto barrier = std::make_shared<int>(2);
-      auto arm = [this, index, grant, node, start, epoch, shuffle_share,
-                  task_id, barrier] {
-        if (--*barrier > 0) return;
-        if (epoch != reduce_epoch_[index]) return;
-        if (metrics_ != nullptr) {
-          TaskRecord record;
-          record.task = task_id;
-          record.job = id_;
-          record.node = node;
-          record.kind = TaskKind::kReduce;
-          record.input_bytes = shuffle_share;
-          record.launch = start;
-          record.duration = sim_.now() - start;
-          record.read_time = Duration::zero();
-          metrics_->add_task(record);
-        }
-        rm_.release_container(grant);
-        on_reduce_done();
-      };
-      sim_.schedule(compute, arm);
-      if (output_share > 0) {
-        dfs_.namenode().datanode(node)->write(output_share, arm);
-      } else {
-        arm();
-      }
-    });
+    // senders' page caches, so the network is the chokepoint. Each sender's
+    // share is gated on reachability; blocked shares retry until the
+    // partition heals.
+    run_shuffle(index, grant, node, start, epoch,
+                shuffle_shares(shuffle_share), shuffle_share, output_share,
+                task_id, sim_.now());
   });
+}
+
+std::vector<Network::IngressShare> JobRunner::shuffle_shares(
+    Bytes total) const {
+  std::vector<Network::IngressShare> shares;
+  if (total <= 0 || map_output_nodes_.empty()) return shares;
+  Bytes map_total = 0;
+  for (const auto& [node, bytes] : map_output_nodes_) map_total += bytes;
+  shares.reserve(map_output_nodes_.size());
+  Bytes assigned = 0;
+  std::size_t i = 0;
+  for (const auto& [node, bytes] : map_output_nodes_) {
+    ++i;
+    Bytes share;
+    if (i == map_output_nodes_.size()) {
+      share = total - assigned;  // Remainder keeps the sum exact.
+    } else {
+      share = std::min(total - assigned,
+                       static_cast<Bytes>(static_cast<double>(total) *
+                                          (static_cast<double>(bytes) /
+                                           static_cast<double>(map_total))));
+    }
+    assigned += share;
+    if (share > 0) shares.push_back({node, share});
+  }
+  return shares;
+}
+
+void JobRunner::run_shuffle(std::size_t index, const ContainerGrant& grant,
+                            NodeId node, SimTime start, int epoch,
+                            std::vector<Network::IngressShare> shares,
+                            Bytes shuffle_share, Bytes output_share,
+                            TaskId task_id, SimTime shuffle_start) {
+  network_.ingress_transfer(
+      node, std::move(shares),
+      [this, index, grant, node, start, epoch, shuffle_share, output_share,
+       task_id, shuffle_start](Bytes arrived,
+                               std::vector<Network::IngressShare> unserved) {
+        (void)arrived;
+        if (epoch != reduce_epoch_[index]) return;
+        if (unserved.empty()) {
+          finish_reduce(index, grant, node, start, epoch, shuffle_share,
+                        output_share, task_id);
+          return;
+        }
+        if (sim_.now() - shuffle_start > kShuffleDeadline) {
+          // Senders stayed unreachable past the deadline: fail the job but
+          // keep its lifecycle moving, as the map-side terminal read does.
+          failed_ = true;
+          rm_.release_container(grant);
+          on_reduce_done();
+          return;
+        }
+        sim_.schedule(
+            kShuffleRetryDelay,
+            [this, index, grant, node, start, epoch, shuffle_share,
+             output_share, task_id, shuffle_start,
+             unserved = std::move(unserved)]() mutable {
+              if (epoch != reduce_epoch_[index]) return;
+              run_shuffle(index, grant, node, start, epoch,
+                          std::move(unserved), shuffle_share, output_share,
+                          task_id, shuffle_start);
+            },
+            EventClass::kRetry);
+      });
+}
+
+void JobRunner::finish_reduce(std::size_t index, const ContainerGrant& grant,
+                              NodeId node, SimTime start, int epoch,
+                              Bytes shuffle_share, Bytes output_share,
+                              TaskId task_id) {
+  const double mib =
+      static_cast<double>(shuffle_share) / static_cast<double>(kMiB);
+  const Duration compute =
+      Duration::seconds(spec_.compute.reduce_cpu_secs_per_mib * mib);
+  // Merge compute and the output write overlap: reducers stream merged
+  // output to the DFS as they go. The write still rides the local
+  // device channel, so write-heavy jobs (sort) contend with reads.
+  auto barrier = std::make_shared<int>(2);
+  auto arm = [this, index, grant, node, start, epoch, shuffle_share, task_id,
+              barrier] {
+    if (--*barrier > 0) return;
+    if (epoch != reduce_epoch_[index]) return;
+    if (metrics_ != nullptr) {
+      TaskRecord record;
+      record.task = task_id;
+      record.job = id_;
+      record.node = node;
+      record.kind = TaskKind::kReduce;
+      record.input_bytes = shuffle_share;
+      record.launch = start;
+      record.duration = sim_.now() - start;
+      record.read_time = Duration::zero();
+      metrics_->add_task(record);
+    }
+    rm_.release_container(grant);
+    on_reduce_done();
+  };
+  sim_.schedule(compute, arm);
+  if (output_share > 0) {
+    dfs_.namenode().datanode(node)->write(output_share, arm);
+  } else {
+    arm();
+  }
 }
 
 void JobRunner::on_reduce_done() {

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "cluster/resource_manager.h"
@@ -55,6 +56,21 @@ class JobRunner {
   void start_reduce_stage();
   void request_reduce(std::size_t index);
   void launch_reduce(std::size_t index, const ContainerGrant& grant);
+  /// Splits `total` shuffle bytes across the nodes that produced map
+  /// output, proportional to their share of it (remainder to the last
+  /// node), so the fan-in can be partition-gated per sender.
+  std::vector<Network::IngressShare> shuffle_shares(Bytes total) const;
+  /// One fan-in round of a reduce task's shuffle. Shares blocked by a
+  /// partition (or refunded when the stream was severed) retry after a
+  /// delay until they drain or the shuffle deadline fails the job.
+  void run_shuffle(std::size_t index, const ContainerGrant& grant,
+                   NodeId node, SimTime start, int epoch,
+                   std::vector<Network::IngressShare> shares,
+                   Bytes shuffle_share, Bytes output_share, TaskId task_id,
+                   SimTime shuffle_start);
+  void finish_reduce(std::size_t index, const ContainerGrant& grant,
+                     NodeId node, SimTime start, int epoch,
+                     Bytes shuffle_share, Bytes output_share, TaskId task_id);
   void on_reduce_done();
   void finish_job();
   void complete();
@@ -69,6 +85,9 @@ class JobRunner {
   CompletionCallback on_complete_;
 
   std::vector<MapTask> maps_;
+  /// Where map output materialized (node -> bytes of map input processed
+  /// there): the shuffle's sender set.
+  std::map<NodeId, Bytes> map_output_nodes_;
   // Attempt epochs: bumped when a task's container is lost to a node
   // failure. In-flight continuations of the old attempt compare their
   // captured epoch and drop out, so a task never completes twice.

@@ -1,6 +1,10 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <string>
+#include <utility>
+
+#include "metrics/registry.h"
 
 namespace ignem {
 
@@ -43,11 +47,22 @@ SharedBandwidthResource& Network::nic(NodeId node) {
   return *nics_[static_cast<std::size_t>(node.value())];
 }
 
+void Network::set_metrics_registry(MetricsRegistry* registry) {
+  severed_bytes_ =
+      registry == nullptr ? nullptr : &registry->histogram("net.severed_bytes");
+}
+
 void Network::transfer(NodeId src, NodeId dst, Bytes bytes,
                        Callback on_complete) {
+  transfer(src, dst, bytes, std::move(on_complete), nullptr);
+}
+
+void Network::transfer(NodeId src, NodeId dst, Bytes bytes,
+                       Callback on_complete, Callback on_severed) {
   IGNEM_CHECK(bytes >= 0);
   if (src == dst) {
-    // Intra-node handoff: no NIC involved.
+    // Intra-node handoff: no NIC involved (and never severable — a node
+    // always reaches itself).
     sim_.schedule(Duration::micros(10), std::move(on_complete),
                   EventClass::kTransfer);
     return;
@@ -58,6 +73,11 @@ void Network::transfer(NodeId src, NodeId dst, Bytes bytes,
   // fabrics keep the historical single-resource path.
   const bool via_uplink =
       has_rack_uplinks() && !topology_.same_rack(src, dst);
+  if (sever_ && on_severed != nullptr) {
+    start_severable(src, dst, bytes, via_uplink, std::move(on_complete),
+                    std::move(on_severed));
+    return;
+  }
   sim_.schedule(profile_.rtt,
                 [this, src, bytes, via_uplink,
                  cb = std::move(on_complete)]() mutable {
@@ -74,6 +94,56 @@ void Network::transfer(NodeId src, NodeId dst, Bytes bytes,
                 EventClass::kTransfer);
 }
 
+void Network::start_severable(NodeId src, NodeId dst, Bytes bytes,
+                              bool via_uplink, Callback on_complete,
+                              Callback on_severed) {
+  sim_.schedule(
+      profile_.rtt,
+      [this, src, dst, bytes, via_uplink, cb = std::move(on_complete),
+       sev = std::move(on_severed)]() mutable {
+        if (!reachable(src, dst)) {
+          // The cut landed during the propagation delay: nothing moved.
+          record_severed(dst, src.value(), bytes, 0);
+          sev();
+          return;
+        }
+        const std::uint64_t id = next_flight_id_++;
+        InFlight flight;
+        flight.src = src;
+        flight.dst = dst;
+        flight.bytes = bytes;
+        flight.resource = &nic(src);
+        flight.final_stage = !via_uplink;
+        flight.on_severed = std::move(sev);
+        auto [it, inserted] = flights_.emplace(id, std::move(flight));
+        InFlight& f = it->second;
+        if (!via_uplink) {
+          f.handle = f.resource->start(bytes, [this, id,
+                                               cb = std::move(cb)]() mutable {
+            flights_.erase(id);
+            cb();
+          });
+          return;
+        }
+        const int rack = topology_.rack_of(src);
+        f.handle = f.resource->start(
+            bytes, [this, id, rack, bytes, cb = std::move(cb)]() mutable {
+              // NIC leg drained; hop onto the shared uplink. The flight is
+              // still registered (a sever would have aborted this callback).
+              InFlight& fl = flights_.at(id);
+              fl.resource = &rack_uplink(rack);
+              fl.final_stage = true;
+              fl.handle =
+                  fl.resource->start(bytes, [this, id,
+                                             cb = std::move(cb)]() mutable {
+                    flights_.erase(id);
+                    cb();
+                  });
+            });
+      },
+      EventClass::kTransfer);
+}
+
 void Network::ingress_transfer(NodeId dst, Bytes bytes, Callback on_complete) {
   IGNEM_CHECK(bytes >= 0);
   sim_.schedule(profile_.rtt,
@@ -81,6 +151,142 @@ void Network::ingress_transfer(NodeId dst, Bytes bytes, Callback on_complete) {
                   nic(dst).start(bytes, std::move(cb));
                 },
                 EventClass::kTransfer);
+}
+
+void Network::ingress_transfer(NodeId dst, std::vector<IngressShare> shares,
+                               IngressCallback on_done) {
+  sim_.schedule(
+      profile_.rtt,
+      [this, dst, shares = std::move(shares),
+       cb = std::move(on_done)]() mutable {
+        // Gate each contributing share at stream start; admitted bytes move
+        // as one receiver-NIC stream (the fan-in chokepoint), blocked ones
+        // go straight back to the caller for retry after the heal.
+        Bytes admitted = 0;
+        std::vector<IngressShare> live;
+        std::vector<IngressShare> blocked;
+        for (IngressShare& share : shares) {
+          if (share.bytes <= 0) continue;
+          if (reachable(share.source, dst)) {
+            admitted += share.bytes;
+            live.push_back(share);
+          } else {
+            blocked.push_back(share);
+          }
+        }
+        if (admitted == 0) {
+          if (blocked.empty()) {
+            // Nothing to move at all: run the zero-byte stream the legacy
+            // overload would have, so the event sequence is unchanged.
+            nic(dst).start(0, [cb = std::move(cb)]() mutable {
+              cb(0, {});
+            });
+          } else {
+            cb(0, std::move(blocked));
+          }
+          return;
+        }
+        if (!sever_) {
+          nic(dst).start(admitted,
+                         [cb = std::move(cb), admitted,
+                          blocked = std::move(blocked)]() mutable {
+                           cb(admitted, std::move(blocked));
+                         });
+          return;
+        }
+        const std::uint64_t id = next_flight_id_++;
+        InFlight flight;
+        flight.src = dst;
+        flight.dst = dst;
+        flight.bytes = admitted;
+        flight.resource = &nic(dst);
+        flight.ingress = true;
+        flight.shares = std::move(live);
+        flight.unserved = std::move(blocked);
+        flight.on_ingress = std::move(cb);
+        auto [it, inserted] = flights_.emplace(id, std::move(flight));
+        InFlight& f = it->second;
+        f.handle = f.resource->start(admitted, [this, id]() mutable {
+          auto fit = flights_.find(id);
+          IngressCallback done = std::move(fit->second.on_ingress);
+          const Bytes arrived = fit->second.bytes;
+          std::vector<IngressShare> unserved = std::move(fit->second.unserved);
+          flights_.erase(fit);
+          done(arrived, std::move(unserved));
+        });
+      },
+      EventClass::kTransfer);
+}
+
+void Network::sever_partitioned_transfers() {
+  if (!sever_ || flights_.empty()) return;
+  std::vector<std::uint64_t> victims;
+  for (const auto& [id, f] : flights_) {
+    if (f.ingress) {
+      for (const IngressShare& share : f.shares) {
+        if (!reachable(share.source, f.dst)) {
+          victims.push_back(id);
+          break;
+        }
+      }
+    } else if (!reachable(f.src, f.dst)) {
+      victims.push_back(id);
+    }
+  }
+  // Collect callbacks before firing any: a severed-callback may start new
+  // transfers (retries) on this network.
+  std::vector<std::function<void()>> fire;
+  fire.reserve(victims.size());
+  for (const std::uint64_t id : victims) {
+    auto it = flights_.find(id);
+    InFlight f = std::move(it->second);
+    flights_.erase(it);
+    const std::int64_t stage_remaining = f.resource->remaining_bytes(f.handle);
+    IGNEM_CHECK(stage_remaining >= 0);
+    const bool aborted = f.resource->abort(f.handle);
+    IGNEM_CHECK(aborted);
+    // Only the final serial stage delivers toward dst; bytes progressed on
+    // an earlier leg (source NIC before the rack uplink) never crossed the
+    // cut and are refunded whole.
+    const Bytes progressed =
+        f.final_stage ? std::min(f.bytes, f.bytes - Bytes(stage_remaining))
+                      : Bytes(0);
+    const Bytes refunded = f.bytes - progressed;
+    if (f.ingress) {
+      // Attribute served bytes to admitted shares in order; the exact
+      // remainder comes back as unserved shares for retry. Conservation:
+      // progressed + sum(unserved) == requested total.
+      Bytes left = progressed;
+      std::vector<IngressShare> unserved = std::move(f.unserved);
+      for (const IngressShare& share : f.shares) {
+        const Bytes got = std::min(share.bytes, left);
+        left -= got;
+        if (share.bytes > got) {
+          unserved.push_back({share.source, share.bytes - got});
+        }
+      }
+      record_severed(f.dst, -1, refunded, progressed);
+      fire.push_back([done = std::move(f.on_ingress), progressed,
+                      unserved = std::move(unserved)]() mutable {
+        done(progressed, std::move(unserved));
+      });
+    } else {
+      record_severed(f.dst, f.src.value(), refunded, progressed);
+      fire.push_back(std::move(f.on_severed));
+    }
+  }
+  for (auto& callback : fire) callback();
+}
+
+void Network::record_severed(NodeId dst, std::int64_t detail, Bytes refunded,
+                             Bytes progressed) {
+  ++transfers_severed_;
+  if (severed_bytes_ != nullptr) severed_bytes_->record(refunded);
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kTransferSevered, dst, BlockId::invalid(),
+                 JobId::invalid(), refunded, detail,
+                 static_cast<double>(progressed));
+  }
 }
 
 Bytes Network::total_bytes_sent(NodeId node) const {

@@ -7,8 +7,18 @@
 // far outruns a contended HDD — so an egress-limited single-resource model
 // preserves the relevant behaviour: remote reads of migrated blocks are
 // nearly as fast as local ones.
+//
+// Partition semantics: read paths consult `reachable` before choosing a
+// source, fan-in ingress gates each contributing share at stream start, and
+// — when `set_sever_transfers(true)` — transfers already moving when a cut
+// lands are aborted at the cut with partial-progress accounting (the
+// unserved remainder is refunded: the completion callback never fires and
+// no replica/byte totals count it). Severing is default-off so pinned trace
+// hashes stay bit-identical.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -20,6 +30,9 @@
 #include "storage/bandwidth_resource.h"
 
 namespace ignem {
+
+class MetricsRegistry;
+class HistogramMetric;
 
 struct NetworkProfile {
   Bandwidth nic_bw = gib_per_sec(1.25);  ///< 10 Gbps.
@@ -44,6 +57,19 @@ class Network {
  public:
   using Callback = std::function<void()>;
 
+  /// One contributing sender of a fan-in (shuffle-style) transfer.
+  struct IngressShare {
+    NodeId source;
+    Bytes bytes = 0;
+  };
+  /// Completion of a gated fan-in: `arrived` bytes landed; `unserved` lists
+  /// the (source, bytes) shares that did not — blocked by the reachability
+  /// matrix when the stream started, or refunded when a cut severed the
+  /// stream mid-flight. arrived + sum(unserved) == the requested total, so
+  /// callers retry exactly the missing shares. Empty unserved == done.
+  using IngressCallback =
+      std::function<void(Bytes arrived, std::vector<IngressShare> unserved)>;
+
   Network(Simulator& sim, std::size_t node_count, NetworkProfile profile);
 
   Network(const Network&) = delete;
@@ -53,10 +79,32 @@ class Network {
   /// the NIC and complete after a single memcpy-scale delay.
   void transfer(NodeId src, NodeId dst, Bytes bytes, Callback on_complete);
 
+  /// As above, but severable: with `set_sever_transfers(true)`, a partition
+  /// cut landing between src and dst mid-flight aborts the transfer at the
+  /// cut — `on_severed` fires (exactly once, instead of on_complete) and
+  /// the unserved remainder is refunded: it never counts toward byte
+  /// totals, and kTransferSevered records the split. With severing off the
+  /// callback is ignored and the call is identical to the plain overload.
+  void transfer(NodeId src, NodeId dst, Bytes bytes, Callback on_complete,
+                Callback on_severed);
+
   /// A fan-in transfer (e.g. shuffle) limited by the *destination* NIC:
   /// data arrives from many senders at once, so the receiver is the shared
-  /// chokepoint.
+  /// chokepoint. This legacy form has no sender identities and therefore
+  /// cannot be partition-gated; callers that shuffle across racks use the
+  /// share-based overload below.
   void ingress_transfer(NodeId dst, Bytes bytes, Callback on_complete);
+
+  /// Reachability-gated fan-in: when the stream starts (one RTT after the
+  /// call) each share is admitted only if its source can currently reach
+  /// `dst`; admitted bytes move as one receiver-NIC stream and blocked
+  /// shares come back in `unserved`. When severing is on, a cut that
+  /// blocks any admitted source mid-stream aborts the stream: bytes served
+  /// so far are attributed to shares in order and the rest is refunded via
+  /// `unserved`. Fully connected, this is event-identical to the legacy
+  /// overload.
+  void ingress_transfer(NodeId dst, std::vector<IngressShare> shares,
+                        IngressCallback on_done);
 
   std::size_t node_count() const { return nics_.size(); }
   Bytes total_bytes_sent(NodeId node) const;
@@ -74,18 +122,72 @@ class Network {
     return reachability_.reachable(src, dst);
   }
 
+  /// Arms partition severing: in-flight transfers started through the
+  /// severable overloads abort when a cut lands across them. Default off —
+  /// cuts then only affect transfers started afterwards, the historical
+  /// behaviour.
+  void set_sever_transfers(bool on) { sever_ = on; }
+  bool sever_transfers_enabled() const { return sever_; }
+
+  /// Aborts every tracked in-flight transfer the matrix now blocks. The
+  /// fault plane calls this after applying a cut; heals need nothing (new
+  /// transfers simply pass the gate again). No-op when severing is off.
+  void sever_partitioned_transfers();
+
+  /// Lifetime count of severed transfers (fan-ins count once per stream).
+  std::uint64_t transfers_severed() const { return transfers_severed_; }
+
+  /// Emits kTransferSevered events; safe to leave null.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+  /// Arms the net.severed_bytes histogram (refunded bytes per sever). Only
+  /// wired when severing is on so knob-off run reports are unchanged.
+  void set_metrics_registry(MetricsRegistry* registry);
+
   /// The shared uplink channel of `rack`. Only valid when the profile set
   /// rack_uplink_bw > 0.
   SharedBandwidthResource& rack_uplink(int rack);
   bool has_rack_uplinks() const { return !uplinks_.empty(); }
 
  private:
+  /// One severable transfer with a live stream on some channel. Flights
+  /// only exist while severing is armed and the stream is active (the RTT
+  /// leg re-checks reachability when it fires, so it needs no tracking).
+  struct InFlight {
+    NodeId src;  ///< Sender (fan-ins: the destination, stream owner).
+    NodeId dst;
+    Bytes bytes = 0;  ///< Stream total (fan-ins: admitted bytes).
+    SharedBandwidthResource* resource = nullptr;  ///< Current stage.
+    TransferHandle handle;
+    /// True once the stream is on its last serial stage; partial progress
+    /// only counts as delivered there (earlier legs never crossed the cut).
+    bool final_stage = true;
+    bool ingress = false;
+    Callback on_severed;                    ///< Point-to-point flights.
+    std::vector<IngressShare> shares;       ///< Fan-in: admitted shares.
+    std::vector<IngressShare> unserved;     ///< Fan-in: blocked at start.
+    IngressCallback on_ingress;
+  };
+
+  void start_severable(NodeId src, NodeId dst, Bytes bytes, bool via_uplink,
+                       Callback on_complete, Callback on_severed);
+  /// Records one sever (trace + counters) of `refunded` unserved bytes;
+  /// detail = source node id, or -1 for fan-in streams.
+  void record_severed(NodeId dst, std::int64_t detail, Bytes refunded,
+                      Bytes progressed);
+
   Simulator& sim_;
   NetworkProfile profile_;
   Topology topology_;
   ReachabilityMatrix reachability_;
   std::vector<std::unique_ptr<SharedBandwidthResource>> nics_;
   std::vector<std::unique_ptr<SharedBandwidthResource>> uplinks_;
+
+  bool sever_ = false;
+  std::map<std::uint64_t, InFlight> flights_;
+  std::uint64_t next_flight_id_ = 1;
+  std::uint64_t transfers_severed_ = 0;
+  TraceRecorder* trace_ = nullptr;
+  HistogramMetric* severed_bytes_ = nullptr;
 };
 
 }  // namespace ignem

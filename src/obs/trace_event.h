@@ -120,6 +120,16 @@ enum class TraceEventType : std::uint8_t {
                         ///< in fact alive (partition/heartbeat silence).
   kExcessReplicaDeleted,  ///< rejoin reconciliation dropped an
                           ///< over-replicated copy; bytes = block size.
+  // Routed control plane + severed transfers (src/net/rpc, Network). Only
+  // the control_plane knobs emit these, so pinned hashes are unmoved.
+  kRpcTimeout,          ///< control RPC resolved without delivery; node =
+                        ///< callee, detail = outcome (1 timeout,
+                        ///< 2 unreachable), bytes = attempts made.
+  kTransferSevered,     ///< in-flight transfer aborted at a partition cut;
+                        ///< node = destination, detail = source node id
+                        ///< (-1 = fan-in shuffle), bytes = unserved bytes
+                        ///< refunded to the sender, value = bytes already
+                        ///< on the wire when the cut landed.
   kCount              ///< Sentinel; not a real event.
 };
 

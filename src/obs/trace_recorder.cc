@@ -111,6 +111,8 @@ const char* trace_event_name(TraceEventType type) {
     case TraceEventType::kNodeSuspect: return "node_suspect";
     case TraceEventType::kFalseDead: return "false_dead";
     case TraceEventType::kExcessReplicaDeleted: return "excess_replica_deleted";
+    case TraceEventType::kRpcTimeout: return "rpc_timeout";
+    case TraceEventType::kTransferSevered: return "transfer_severed";
     case TraceEventType::kCount: break;
   }
   return "?";

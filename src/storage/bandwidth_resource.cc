@@ -85,6 +85,16 @@ bool SharedBandwidthResource::abort(TransferHandle handle) {
   return true;
 }
 
+std::int64_t SharedBandwidthResource::remaining_bytes(TransferHandle handle) {
+  if (!handle.valid()) return -1;
+  const auto it = transfers_.find(handle.id());
+  if (it == transfers_.end()) return -1;
+  settle();
+  sync(it);
+  return static_cast<std::int64_t>(
+      std::ceil(std::max(0.0, it->second.remaining)));
+}
+
 void SharedBandwidthResource::settle() {
   const Duration elapsed = sim_.now() - last_update_;
   last_update_ = sim_.now();

@@ -102,6 +102,14 @@ class SharedBandwidthResource {
   /// if the transfer already completed or was never started.
   bool abort(TransferHandle handle);
 
+  /// Exact unserved bytes of an in-flight transfer (rounded up to whole
+  /// bytes), or -1 when the handle is unknown (completed or aborted).
+  /// Settles the channel and replays this transfer's missed log slice —
+  /// the same clamped chain event times derive from — without scheduling
+  /// anything, so callers (partition severing) can account partial
+  /// progress at the cut instant.
+  std::int64_t remaining_bytes(TransferHandle handle);
+
   std::size_t active_transfers() const { return transfers_.size(); }
 
   /// Current per-stream rate, given the active transfer count.

@@ -31,6 +31,8 @@ struct ChaosResult {
   std::uint64_t unrepairable = 0; ///< Blocks repair gave up on.
   Bytes leaked_locked_bytes = 0;
   std::size_t over_replicated = 0; ///< Blocks above target after the drain.
+  std::uint64_t transfers_severed = 0;  ///< Network's lifetime sever count.
+  std::uint64_t severed_events = 0;     ///< kTransferSevered trace events.
   std::string plan;  ///< For reproducing a failing seed.
 };
 
@@ -51,6 +53,16 @@ struct ChaosOptions {
   Duration suspicion_grace = Duration::zero();
   /// Re-replication storm throttle (0 = unthrottled).
   Bandwidth replication_rate_limit = 0.0;
+  /// Partition cuts abort in-flight transfers with partial-progress refunds
+  /// (the severed-byte conservation path) instead of riding through.
+  bool sever_transfers = false;
+  /// Routes every master<->slave control RPC through the RpcRouter on
+  /// control node 0: heartbeats really drop at cuts, grants/repair orders/
+  /// migration commands retry against deadlines.
+  bool routed = false;
+  /// Adds one deterministic mid-run cut of the control node's *own* rack —
+  /// the cluster loses its brain entirely — healed before the drain.
+  bool control_rack_cut = false;
 };
 
 ChaosResult run_chaos(RunMode mode, std::uint64_t seed,
@@ -68,6 +80,8 @@ ChaosResult run_chaos(RunMode mode, std::uint64_t seed,
   config.rack_count = options.rack_count;
   config.detector.suspicion_grace = options.suspicion_grace;
   config.replication_rate_limit = options.replication_rate_limit;
+  config.control_plane.routed = options.routed;
+  config.control_plane.sever_transfers = options.sever_transfers;
   if (options.tiered) {
     config.tiering.tiers = {ram_tier(1 * kGiB), ssd_tier(2 * kGiB),
                             hdd_home_tier()};
@@ -92,6 +106,18 @@ ChaosResult run_chaos(RunMode mode, std::uint64_t seed,
       /*max_outage=*/Duration::seconds(25), options.fault_kinds);
   FaultInjector injector(testbed.sim(), testbed, plan);
   injector.arm();
+  // The deterministic brain-cut rides on top of the random schedule: the
+  // control node's own rack is partitioned mid-run, so every node outside
+  // it loses heartbeats, grants, and repair orders at once.
+  const Duration control_cut_end = Duration::seconds(58);
+  if (options.control_rack_cut) {
+    testbed.sim().schedule(Duration::seconds(40), [&testbed] {
+      testbed.begin_rack_partition(NodeId(0));
+    });
+    testbed.sim().schedule(control_cut_end, [&testbed] {
+      testbed.end_rack_partition(NodeId(0));
+    });
+  }
 
   ChaosResult result;
   result.seed = seed;
@@ -108,6 +134,9 @@ ChaosResult run_chaos(RunMode mode, std::uint64_t seed,
   Duration last_fault_end = Duration::zero();
   for (const FaultSpec& fault : plan.faults) {
     last_fault_end = std::max(last_fault_end, fault.at + fault.duration);
+  }
+  if (options.control_rack_cut) {
+    last_fault_end = std::max(last_fault_end, control_cut_end);
   }
   const SimTime drain = SimTime::zero() + last_fault_end +
                         Duration::seconds(30);
@@ -136,6 +165,14 @@ ChaosResult run_chaos(RunMode mode, std::uint64_t seed,
       ++result.over_replicated;
     }
   }
+  // Severed-transfer accounting: the lifetime counter and the trace stream
+  // must tell the same story (each abort recorded exactly once).
+  result.transfers_severed = testbed.network().transfers_severed();
+  const auto& events = testbed.trace()->events();
+  result.severed_events = static_cast<std::uint64_t>(std::count_if(
+      events.begin(), events.end(), [](const TraceEvent& e) {
+        return e.type == TraceEventType::kTransferSevered;
+      }));
   return result;
 }
 
@@ -150,6 +187,8 @@ void expect_clean(const ChaosResult& result, std::size_t expected_jobs) {
   EXPECT_EQ(result.integrity_mismatch, "");
   EXPECT_EQ(result.leaked_locked_bytes, 0u);
   EXPECT_EQ(result.over_replicated, 0u);
+  EXPECT_EQ(result.transfers_severed, result.severed_events)
+      << "sever counter and kTransferSevered trace disagree";
   // A job may only fail when data was genuinely lost (every copy of some
   // block rotted before repair could save it); all other fault schedules
   // must degrade performance, never correctness.
@@ -231,6 +270,9 @@ ChaosOptions partition_options() {
   options.rack_count = 2;
   options.suspicion_grace = Duration::seconds(4);
   options.replication_rate_limit = mib_per_sec(200);
+  // Cuts abort running transfers with partial-progress refunds; the
+  // conservation invariants must close across the whole sweep.
+  options.sever_transfers = true;
   return options;
 }
 
@@ -248,6 +290,33 @@ TEST(Chaos, PartitionChaosSweepHdfs) {
   constexpr std::size_t kSeeds = 8;
   const auto results = bench::run_indexed_sweep(kSeeds, [](std::size_t i) {
     return run_chaos(RunMode::kHdfs, i, partition_options());
+  });
+  for (const ChaosResult& result : results) expect_clean(result, 12u);
+}
+
+ChaosOptions control_plane_options() {
+  ChaosOptions options;
+  options.fault_kinds = kEveryFaultKind;
+  options.fault_count = 6;
+  options.plan_seed_base = 24000;
+  options.rack_count = 2;
+  options.suspicion_grace = Duration::seconds(4);
+  options.replication_rate_limit = mib_per_sec(200);
+  options.sever_transfers = true;
+  options.routed = true;
+  options.control_rack_cut = true;
+  return options;
+}
+
+TEST(Chaos, ControlPlanePartitionSweepIgnem) {
+  // The routed control plane under fire: every seed cuts the master's own
+  // rack mid-run (on top of the random schedule), so heartbeats, grants,
+  // migration commands, and repair orders all really drop. Every job must
+  // still terminate, no block may end over-replicated, and zero locked
+  // bytes may leak once the cut heals.
+  constexpr std::size_t kSeeds = 12;
+  const auto results = bench::run_indexed_sweep(kSeeds, [](std::size_t i) {
+    return run_chaos(RunMode::kIgnem, i, control_plane_options());
   });
   for (const ChaosResult& result : results) expect_clean(result, 12u);
 }

@@ -7,9 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
 
 #include "common/rate_limiter.h"
 #include "core/testbed.h"
+#include "dfs/namenode.h"
 #include "net/network.h"
 #include "net/reachability.h"
 #include "net/topology.h"
@@ -480,6 +484,100 @@ TEST(RackAwareRepair, RepairRestoresOffRackRedundancy) {
     EXPECT_TRUE(rack0 && rack1)
         << "block " << block.value() << " lost off-rack redundancy";
   }
+}
+
+// ---------------------------------------------------------------------------
+// Rack-aware initial placement under pressure (property)
+
+// Builds a NameNode + DataNode fleet with round-robin rack assignment and
+// kills every node of every rack but rack 0 except one survivor each — the
+// capacity-less analogue of near-full racks: a uniform draw would
+// overwhelmingly land all copies in the fat rack, so only the off-rack
+// placement constraint keeps them spread. Property: while at least two
+// racks have live nodes, no block's replica set may collapse into one rack.
+void check_placement_spreads(int racks, std::uint64_t seed) {
+  Simulator sim;
+  const int nodes = racks * 3;
+  NameNode namenode(Rng(seed), /*replication=*/3, /*block_size=*/64 * kMiB,
+                    racks);
+  std::vector<std::unique_ptr<DataNode>> datanodes;
+  for (int i = 0; i < nodes; ++i) {
+    datanodes.push_back(std::make_unique<DataNode>(
+        sim, NodeId(i), hdd_profile(), 16 * kGiB,
+        Rng(100 + static_cast<std::uint64_t>(i))));
+    namenode.register_datanode(datanodes.back().get());
+  }
+  for (int i = racks; i < nodes; ++i) {
+    if (i % racks != 0) namenode.set_node_alive(NodeId(i), false);
+  }
+  for (int f = 0; f < 40; ++f) {
+    const FileId id =
+        namenode.create_file("/f" + std::to_string(f), 256 * kMiB);
+    for (const BlockId block : namenode.file(id).blocks) {
+      const auto& replicas = namenode.block(block).replicas;
+      ASSERT_GE(replicas.size(), 2u);
+      std::set<int> spanned;
+      for (const NodeId node : replicas) spanned.insert(namenode.rack_of(node));
+      EXPECT_GE(spanned.size(), 2u)
+          << "racks=" << racks << " seed=" << seed << " block "
+          << block.value() << ": every replica landed in rack "
+          << *spanned.begin();
+    }
+  }
+}
+
+TEST(Placement, ReplicasNeverCollapseIntoOneRackUnderPressure) {
+  for (const int racks : {3, 4}) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      check_placement_spreads(racks, seed);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RateLimiter edges: zero/low budgets and same-timestamp determinism
+
+TEST(RateLimiter, ZeroRateMeansUnlimitedNotDeadlocked) {
+  // A zero repair budget reads as "pacing disabled": a repair holding its
+  // concurrency slot through reserve() waits zero, never forever.
+  RateLimiter limiter(0.0, 0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(limiter.reserve(1 * kGiB, SimTime::zero()), Duration::zero());
+    EXPECT_TRUE(limiter.try_acquire(1 * kGiB, SimTime::zero()));
+  }
+}
+
+TEST(RateLimiter, VeryLowRateWaitsAreFiniteAndAdditive) {
+  // 1 KiB/s against MiB-scale reservations: waits grow linearly with the
+  // debt, but each is finite and exact — a throttled repair slot always
+  // frees eventually.
+  RateLimiter limiter(1024.0, 0);
+  const SimTime t0 = SimTime::zero();
+  const Duration cost = transfer_time(64 * kMiB, 1024.0);
+  EXPECT_EQ(limiter.reserve(64 * kMiB, t0), Duration::zero());
+  EXPECT_EQ(limiter.reserve(64 * kMiB, t0), cost);
+  EXPECT_EQ(limiter.reserve(64 * kMiB, t0), cost + cost);
+}
+
+TEST(RateLimiter, SameTimestampSequencesAreDeterministic) {
+  // Two limiters fed the identical reservation sequence — including runs
+  // of reservations sharing one timestamp — answer with identical waits:
+  // the refill math is pure integer microseconds, no hidden state.
+  RateLimiter a(mib_per_sec(100), 10 * kMiB);
+  RateLimiter b(mib_per_sec(100), 10 * kMiB);
+  const SimTime t0 = SimTime::zero() + Duration::seconds(1);
+  for (int round = 0; round < 3; ++round) {
+    const SimTime now = t0 + Duration::seconds(round * 7);
+    for (const Bytes bytes : {3 * kMiB, 10 * kMiB, 7 * kMiB, 10 * kMiB}) {
+      EXPECT_EQ(a.reserve(bytes, now), b.reserve(bytes, now));
+    }
+  }
+  // Idle refill is capped at one burst: after a long gap the bucket is
+  // full again but never fuller.
+  const SimTime later = t0 + Duration::seconds(3600);
+  EXPECT_EQ(a.reserve(10 * kMiB, later), Duration::zero());
+  EXPECT_EQ(a.reserve(10 * kMiB, later), Duration::zero());  // the debt grant
+  EXPECT_GT(a.reserve(10 * kMiB, later), Duration::zero());
 }
 
 }  // namespace
